@@ -1,0 +1,412 @@
+(* Command-line interface to the GhostBusters reproduction.
+
+     ghostbusters list                        workloads and attack variants
+     ghostbusters run gemm --mode unsafe     run a workload, print stats
+     ghostbusters attack v1 --mode unsafe    run a Spectre PoC
+     ghostbusters trace gemm --mode unsafe   dump the hot translated trace
+     ghostbusters explain v1|v4              poisoning analysis of Figs 1-2
+     ghostbusters figure4                    the E2 table *)
+
+open Cmdliner
+
+let mode_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun m -> Gb_core.Mitigation.mode_name m = s)
+        Gb_core.Mitigation.all_modes
+    with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown mode %S (expected one of: %s)" s
+             (String.concat ", "
+                (List.map Gb_core.Mitigation.mode_name
+                   Gb_core.Mitigation.all_modes))))
+  in
+  let print ppf m = Format.fprintf ppf "%s" (Gb_core.Mitigation.mode_name m) in
+  Arg.conv (parse, print)
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Gb_core.Mitigation.Unsafe
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:
+          "Mitigation mode: unsafe, fine-grained, fence-on-detect or \
+           no-speculation.")
+
+let secret_arg =
+  Arg.(
+    value
+    & opt string Gb_experiments.Experiments.default_secret
+    & info [ "s"; "secret" ] ~docv:"SECRET" ~doc:"Secret string to exfiltrate.")
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,list)).")
+
+let print_result (r : Gb_system.Processor.result) =
+  Printf.printf "exit code        %d\n" r.Gb_system.Processor.exit_code;
+  Printf.printf "cycles           %Ld\n" r.Gb_system.Processor.cycles;
+  Printf.printf "interp insns     %Ld\n" r.Gb_system.Processor.interp_insns;
+  Printf.printf "trace runs       %Ld\n" r.Gb_system.Processor.trace_runs;
+  Printf.printf "bundles          %Ld\n" r.Gb_system.Processor.bundles;
+  Printf.printf "side exits       %Ld\n" r.Gb_system.Processor.side_exits;
+  Printf.printf "rollbacks        %Ld\n" r.Gb_system.Processor.rollbacks;
+  Printf.printf "stall cycles     %Ld\n" r.Gb_system.Processor.stall_cycles;
+  Printf.printf "translations     %d\n" r.Gb_system.Processor.translations;
+  Printf.printf "spec loads       %d\n" r.Gb_system.Processor.spec_loads;
+  Printf.printf "patterns         %d\n" r.Gb_system.Processor.patterns_found;
+  Printf.printf "constrained      %d\n" r.Gb_system.Processor.loads_constrained;
+  Printf.printf "fences           %d\n" r.Gb_system.Processor.fences_inserted;
+  if r.Gb_system.Processor.output <> "" then
+    Printf.printf "output           %S\n" r.Gb_system.Processor.output
+
+(* design-space knobs shared by run/attack *)
+let width_arg =
+  Arg.(value & opt (some int) None
+       & info [ "width" ] ~docv:"N" ~doc:"VLIW issue width.")
+
+let mcb_arg =
+  Arg.(value & opt (some int) None
+       & info [ "mcb" ] ~docv:"N" ~doc:"MCB entries (0 disables memory speculation).")
+
+let hot_arg =
+  Arg.(value & opt (some int) None
+       & info [ "hot" ] ~docv:"N" ~doc:"Hot threshold before trace translation.")
+
+let unroll_arg =
+  Arg.(value & opt (some int) None
+       & info [ "unroll" ] ~docv:"N" ~doc:"Trace-constructor revisit limit.")
+
+let cache_kib_arg =
+  Arg.(value & opt (some int) None
+       & info [ "cache-kib" ] ~docv:"KIB" ~doc:"L1D capacity in KiB.")
+
+let build_config mode width mcb hot unroll cache_kib =
+  let config = Gb_system.Processor.config_for mode in
+  let engine = config.Gb_system.Processor.engine in
+  let resources =
+    match width with
+    | None -> engine.Gb_dbt.Engine.resources
+    | Some w ->
+      { Gb_dbt.Sched.width = w; mem_slots = max 1 (w / 4);
+        mul_slots = max 1 (w / 4); branch_slots = 1 }
+  in
+  let opt_override =
+    match mcb with
+    | None -> engine.Gb_dbt.Engine.opt_override
+    | Some tags ->
+      Some
+        { (Gb_core.Mitigation.opt_of_mode mode) with
+          Gb_ir.Opt_config.mem_spec = tags > 0; mcb_tags = tags }
+  in
+  let trace_cfg =
+    match unroll with
+    | None -> engine.Gb_dbt.Engine.trace_cfg
+    | Some visits ->
+      { engine.Gb_dbt.Engine.trace_cfg with Gb_dbt.Trace_builder.max_visits = visits }
+  in
+  let engine =
+    { engine with
+      Gb_dbt.Engine.resources; opt_override; trace_cfg;
+      hot_threshold =
+        Option.value ~default:engine.Gb_dbt.Engine.hot_threshold hot }
+  in
+  let hier =
+    match cache_kib with
+    | None -> config.Gb_system.Processor.hier
+    | Some kib ->
+      { config.Gb_system.Processor.hier with
+        Gb_cache.Hierarchy.cache =
+          { Gb_cache.Cache.size_bytes = kib * 1024; ways = 8; line_bytes = 64 } }
+  in
+  { config with Gb_system.Processor.engine; hier }
+
+let find_workload name =
+  match Gb_workloads.Polybench.by_name name with
+  | Some w -> Ok w
+  | None -> Error (`Msg (Printf.sprintf "unknown workload %S; try 'list'" name))
+
+(* --- list --------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "Workloads (Polybench, integer ports):\n";
+    List.iter
+      (fun (w : Gb_workloads.Polybench.t) ->
+        Printf.printf "  %-12s %s\n" w.Gb_workloads.Polybench.name
+          w.Gb_workloads.Polybench.description)
+      Gb_workloads.Polybench.all;
+    let p = Gb_workloads.Polybench.matmul_ptr in
+    Printf.printf "  %-12s %s\n" p.Gb_workloads.Polybench.name
+      p.Gb_workloads.Polybench.description;
+    Printf.printf "\nAttack variants: v1 (trace speculation), v4 (MCB)\n";
+    Printf.printf "Modes: %s\n"
+      (String.concat ", "
+         (List.map Gb_core.Mitigation.mode_name Gb_core.Mitigation.all_modes))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads, attacks and modes")
+    Term.(const run $ const ())
+
+(* --- run ---------------------------------------------------------------- *)
+
+let report_flag =
+  Arg.(
+    value & flag
+    & info [ "report" ]
+        ~doc:"Print the detailed execution report (tiers, IPC, cache, hottest regions).")
+
+let run_json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+
+let run_cmd =
+  let run name mode report json width mcb hot unroll cache_kib =
+    match find_workload name with
+    | Error e -> Error e
+    | Ok w ->
+      let proc =
+        Gb_system.Processor.create
+          ~config:(build_config mode width mcb hot unroll cache_kib)
+          (Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program)
+      in
+      let r = Gb_system.Processor.run proc in
+      if json then
+        print_endline
+          (Gb_util.Json.to_string_pretty
+             (Gb_system.Report.to_json (Gb_system.Report.of_processor proc r)))
+      else if report then
+        Format.printf "%s under %s@.%a" name
+          (Gb_core.Mitigation.mode_name mode)
+          (Gb_system.Report.pp ?max_regions:None)
+          (Gb_system.Report.of_processor proc r)
+      else begin
+        Printf.printf "%s under %s\n" name (Gb_core.Mitigation.mode_name mode);
+        print_result r
+      end;
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload on the DBT processor")
+    Term.(
+      term_result
+        (const run $ workload_arg $ mode_arg $ report_flag $ run_json_flag
+        $ width_arg $ mcb_arg $ hot_arg $ unroll_arg $ cache_kib_arg))
+
+(* --- attack ------------------------------------------------------------- *)
+
+let variant_arg =
+  Arg.(
+    required
+    & pos 0 (some (enum [ ("v1", `V1); ("v4", `V4) ])) None
+    & info [] ~docv:"VARIANT" ~doc:"Spectre variant: v1 or v4.")
+
+let attack_cmd =
+  let run variant mode secret width mcb hot unroll cache_kib =
+    let program =
+      match variant with
+      | `V1 -> Gb_attack.Spectre_v1.program ~secret ()
+      | `V4 -> Gb_attack.Spectre_v4.program ~secret ()
+    in
+    let config = build_config mode width mcb hot unroll cache_kib in
+    let o = Gb_attack.Runner.run ~config ~mode ~secret program in
+    Printf.printf "%s\n" (Format.asprintf "%a" Gb_attack.Runner.pp_outcome o);
+    print_result o.Gb_attack.Runner.result
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run a Spectre proof-of-concept attack")
+    Term.(
+      const run $ variant_arg $ mode_arg $ secret_arg $ width_arg $ mcb_arg
+      $ hot_arg $ unroll_arg $ cache_kib_arg)
+
+(* --- trace -------------------------------------------------------------- *)
+
+let trace_cmd =
+  let run name mode =
+    match find_workload name with
+    | Error e -> Error e
+    | Ok w ->
+      let program =
+        Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program
+      in
+      let proc =
+        Gb_system.Processor.create
+          ~config:(Gb_system.Processor.config_for mode)
+          program
+      in
+      let _ = Gb_system.Processor.run proc in
+      let engine = Gb_system.Processor.engine proc in
+      let found = ref 0 in
+      (* dump every translated trace, hottest first is not tracked; dump in
+         address order *)
+      let rec scan pc limit =
+        if pc < limit then begin
+          (match Gb_dbt.Engine.lookup engine pc with
+          | Some trace ->
+            incr found;
+            Format.printf "%a@." Gb_vliw.Vinsn.pp_trace trace
+          | None -> ());
+          scan (pc + 4) limit
+        end
+      in
+      scan program.Gb_riscv.Asm.base
+        (program.Gb_riscv.Asm.base + Bytes.length program.Gb_riscv.Asm.image);
+      Printf.printf "%d translated trace(s)\n" !found;
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a workload and dump its translated VLIW traces")
+    Term.(term_result (const run $ workload_arg $ mode_arg))
+
+(* --- explain ------------------------------------------------------------ *)
+
+let dot_flag =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Emit a Graphviz rendering of the poisoned data-flow graph.")
+
+let explain_cmd =
+  let run variant dot =
+    (* Build the attack's hot loop as the DBT engine would see it, and dump
+       the poisoning analysis (the executable version of Figure 3). *)
+    let secret = "S" in
+    let program =
+      match variant with
+      | `V1 -> Gb_attack.Spectre_v1.program ~secret ()
+      | `V4 -> Gb_attack.Spectre_v4.program ~secret ()
+    in
+    let asm = Gb_kernelc.Compile.assemble program in
+    (* run under fine-grained so the engine records where patterns fire *)
+    let proc =
+      Gb_system.Processor.create
+        ~config:(Gb_system.Processor.config_for Gb_core.Mitigation.Fine_grained)
+        asm
+    in
+    let _ = Gb_system.Processor.run proc in
+    let engine = Gb_system.Processor.engine proc in
+    let shown = ref 0 in
+    let rec scan pc limit =
+      if pc < limit && !shown < 2 then begin
+        (match Gb_dbt.Engine.lookup engine pc with
+        | Some trace
+          when trace.Gb_vliw.Vinsn.meta.Gb_vliw.Vinsn.spectre_patterns > 0 ->
+          (* rebuild the same trace at IR level, with the aggressive
+             optimizer, and show what the analysis sees before mitigation *)
+          let gtrace =
+            Gb_dbt.Trace_builder.build Gb_dbt.Trace_builder.default_config
+              ~mem:(Gb_system.Processor.mem proc)
+              ~profile:(Gb_dbt.Engine.branch_profile engine)
+              ~entry:pc
+          in
+          let g =
+            Gb_ir.Build.build ~opt:Gb_ir.Opt_config.aggressive
+              ~lat:Gb_ir.Latency.default gtrace
+          in
+          (if dot then begin
+             let { Gb_core.Poison.poisoned; patterns } =
+               Gb_core.Poison.analyze g
+             in
+             print_string (Gb_ir.Dot.to_string ~poisoned ~patterns g)
+           end
+           else
+             Format.printf "--- IR block at 0x%x ---@.%a@." pc
+               Gb_core.Poison.pp_explain g);
+          incr shown
+        | Some _ | None -> ());
+        scan (pc + 4) limit
+      end
+    in
+    scan asm.Gb_riscv.Asm.base
+      (asm.Gb_riscv.Asm.base + Bytes.length asm.Gb_riscv.Asm.image);
+    if !shown = 0 then print_endline "no trace with a Spectre pattern found"
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Dump the poisoning analysis of an attack's hot traces (Figure 3, \
+          executable)")
+    Term.(const run $ variant_arg $ dot_flag)
+
+(* --- disasm ------------------------------------------------------------- *)
+
+let disasm_cmd =
+  let run name =
+    let program =
+      match name with
+      | "v1" ->
+        Some
+          (Gb_kernelc.Compile.assemble
+             (Gb_attack.Spectre_v1.program
+                ~secret:Gb_experiments.Experiments.default_secret ()))
+      | "v4" ->
+        Some
+          (Gb_kernelc.Compile.assemble
+             (Gb_attack.Spectre_v4.program
+                ~secret:Gb_experiments.Experiments.default_secret ()))
+      | name ->
+        Option.map
+          (fun (w : Gb_workloads.Polybench.t) ->
+            Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program)
+          (Gb_workloads.Polybench.by_name name)
+    in
+    match program with
+    | None -> Error (`Msg (Printf.sprintf "unknown program %S; try 'list'" name))
+    | Some program ->
+      print_string (Gb_riscv.Disasm.dump program);
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Disassemble a workload's or attack's guest binary")
+    Term.(term_result (const run $ workload_arg))
+
+(* --- figure4 ------------------------------------------------------------ *)
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let figure4_cmd =
+  let run json =
+    let data = Gb_experiments.Experiments.e2_figure4 () in
+    if json then
+      print_endline
+        (Gb_util.Json.to_string_pretty
+           (Gb_experiments.Experiments.figure4_json data))
+    else begin
+      let pct f = Printf.sprintf "%.1f%%" (100. *. f) in
+      let rows =
+        List.map
+          (fun (mc : Gb_experiments.Experiments.mode_cycles) ->
+            [
+              mc.Gb_experiments.Experiments.w_name;
+              pct
+                (Gb_experiments.Experiments.slowdown mc
+                   ~mode:Gb_core.Mitigation.Fine_grained);
+              pct
+                (Gb_experiments.Experiments.slowdown mc
+                   ~mode:Gb_core.Mitigation.No_speculation);
+            ])
+          data
+      in
+      Gb_util.Table.print
+        ~header:[ "application"; "our approach"; "no speculation" ]
+        ~rows
+    end
+  in
+  Cmd.v (Cmd.info "figure4" ~doc:"Regenerate the paper's Figure 4 series")
+    Term.(const run $ json_flag)
+
+let () =
+  let doc =
+    "GhostBusters: Spectre attacks and their mitigation on a DBT-based \
+     processor (DATE 2020 reproduction)"
+  in
+  let info = Cmd.info "ghostbusters" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; attack_cmd; trace_cmd; explain_cmd; disasm_cmd;
+            figure4_cmd ]))

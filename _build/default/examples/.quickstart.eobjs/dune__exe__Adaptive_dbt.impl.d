@@ -1,0 +1,1 @@
+examples/adaptive_dbt.ml: Format Gb_attack Gb_core Gb_dbt Gb_kernelc Gb_system Gb_workloads List Printf

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Bytes Format Gb_core Gb_dbt Gb_kernelc Gb_riscv Gb_system Gb_vliw List Printf

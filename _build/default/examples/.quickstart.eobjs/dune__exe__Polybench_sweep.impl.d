@@ -1,0 +1,1 @@
+examples/polybench_sweep.ml: Gb_core Gb_experiments Gb_util Gb_workloads Int64 List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Gb_core Gb_kernelc Gb_riscv Gb_system Int64 Printf

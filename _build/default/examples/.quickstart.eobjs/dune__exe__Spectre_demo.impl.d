@@ -1,0 +1,1 @@
+examples/spectre_demo.ml: Array Char Format Gb_attack Gb_core Gb_system List Printf String

@@ -1,0 +1,87 @@
+(* The paper's demonstration, end to end: both Spectre variants leak a
+   secret through the cache side channel on the unprotected DBT processor,
+   and the GhostBusters countermeasure stops them.
+
+     dune exec examples/spectre_demo.exe *)
+
+let secret = "DBT-GHOST"
+
+let banner title =
+  Printf.printf "\n--- %s ---\n" title
+
+let show variant program =
+  banner (variant ^ ": secret recovery per mitigation mode");
+  List.iter
+    (fun mode ->
+      let o = Gb_attack.Runner.run ~mode ~secret program in
+      Printf.printf "  %-16s %s%s\n"
+        (Gb_core.Mitigation.mode_name mode)
+        (Format.asprintf "%a" Gb_attack.Runner.pp_outcome o)
+        (if o.Gb_attack.Runner.result.Gb_system.Processor.patterns_found > 0
+         then
+           Printf.sprintf "  [%d pattern(s) detected]"
+             o.Gb_attack.Runner.result.Gb_system.Processor.patterns_found
+         else ""))
+    Gb_core.Mitigation.all_modes
+
+let probe_picture () =
+  banner "what the attacker sees (flush+reload timing harness)";
+  (* flush all 256 probe lines, re-touch the lines a leak would touch,
+     then time every candidate - exactly the attack's extraction step *)
+  let hot = [ Gb_attack.Side_channel.training_byte; Char.code secret.[0] ] in
+  let lat = Gb_attack.Timing.measure ~hot () in
+  Array.iteri
+    (fun byte t ->
+      if t < 20 then
+        Printf.printf "  probe[%3d] = %2d cycles  <- cached%s\n" byte t
+          (if byte = Gb_attack.Side_channel.training_byte then
+             " (training decoy)"
+           else Printf.sprintf " (would leak %C)" (Char.chr byte)))
+    lat;
+  let slow = Array.to_list lat |> List.filter (fun t -> t >= 20) in
+  Printf.printf "  ... and %d candidates took %d+ cycles (flushed lines)\n"
+    (List.length slow)
+    (List.fold_left min max_int slow)
+
+let negative_controls () =
+  banner "negative controls (all on the UNSAFE configuration)";
+  List.iter
+    (fun (label, program) ->
+      let o = Gb_attack.Runner.run ~mode:Gb_core.Mitigation.Unsafe ~secret program in
+      Printf.printf "  %-44s %d/%d bytes leaked\n" label
+        o.Gb_attack.Runner.correct_bytes o.Gb_attack.Runner.total_bytes)
+    [
+      ( "v1 without cflush (conflict eviction)",
+        Gb_attack.Spectre_v1.eviction_program ~secret () );
+      ( "v1 with branch-less index masking",
+        Gb_attack.Spectre_v1.masked_program ~secret () );
+      ( "v1 gadget split across a trace boundary",
+        Gb_attack.Spectre_v1.split_program ~secret () );
+    ]
+
+let () =
+  Printf.printf
+    "GhostBusters demo: Spectre on a DBT-based processor (DATE 2020)\n";
+  Printf.printf "secret: %S (%d bytes)\n" secret (String.length secret);
+  show "Spectre v1 (trace speculation)" (Gb_attack.Spectre_v1.program ~secret ());
+  show "Spectre v4 (memory speculation / MCB)"
+    (Gb_attack.Spectre_v4.program ~secret ());
+  negative_controls ();
+  banner "beyond the paper: the translation-decision channel (E7)";
+  let o =
+    Gb_attack.Translation_channel.run ~mode:Gb_core.Mitigation.Fine_grained
+      ~secret:"G" ()
+  in
+  Printf.printf
+    "  under the fine-grained countermeasure, timing both directions of\n\
+    \  the victim's (secret-biased) branch still %s\n"
+    (Format.asprintf "%a" Gb_attack.Translation_channel.pp_outcome o);
+  probe_picture ();
+  banner "takeaway";
+  print_string
+    "The in-order VLIW core never commits a misspeculated value, yet both\n\
+     attacks read the full secret on the unsafe configuration: the DBT\n\
+     engine's software speculation touches the data cache before the\n\
+     squash. The poisoning analysis finds the leaking loads in the IR and\n\
+     the fine-grained constraint stops both variants with no slowdown on\n\
+     innocent code.\n"

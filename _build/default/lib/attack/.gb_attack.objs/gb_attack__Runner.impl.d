@@ -1,0 +1,1 @@
+lib/attack/runner.ml: Char Format Gb_kernelc Gb_system List Side_channel String

@@ -1,0 +1,1 @@
+lib/attack/runner.mli: Format Gb_core Gb_kernelc Gb_system

@@ -1,0 +1,1 @@
+lib/attack/side_channel.ml: Bytes Char Gb_cache Gb_kernelc Gb_riscv String

@@ -1,0 +1,1 @@
+lib/attack/side_channel.mli: Gb_kernelc Gb_riscv

@@ -1,0 +1,1 @@
+lib/attack/spectre_v1.ml: Gb_kernelc Side_channel String

@@ -1,0 +1,1 @@
+lib/attack/spectre_v1.mli: Gb_kernelc

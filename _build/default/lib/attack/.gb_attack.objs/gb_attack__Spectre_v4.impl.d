@@ -1,0 +1,1 @@
+lib/attack/spectre_v4.ml: Gb_kernelc List Side_channel String

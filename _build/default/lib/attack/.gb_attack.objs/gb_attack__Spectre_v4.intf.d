@@ -1,0 +1,1 @@
+lib/attack/spectre_v4.mli: Gb_kernelc

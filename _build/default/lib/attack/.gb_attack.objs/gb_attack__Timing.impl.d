@@ -1,0 +1,1 @@
+lib/attack/timing.ml: Array Gb_core Gb_kernelc Gb_riscv Gb_system Int64 List Printf Side_channel

@@ -1,0 +1,1 @@
+lib/attack/timing.mli: Gb_core Gb_kernelc

@@ -1,0 +1,1 @@
+lib/attack/translation_channel.ml: Char Format Fun Gb_core Gb_kernelc Gb_riscv Gb_system Int64 List String

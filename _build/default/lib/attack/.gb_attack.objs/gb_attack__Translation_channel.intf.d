@@ -1,0 +1,1 @@
+lib/attack/translation_channel.mli: Format Gb_core Gb_kernelc

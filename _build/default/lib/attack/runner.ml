@@ -1,0 +1,42 @@
+type outcome = {
+  recovered : string;
+  correct_bytes : int;
+  total_bytes : int;
+  accuracy : float;
+  result : Gb_system.Processor.result;
+}
+
+let run ?config ~mode ~secret program =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Gb_system.Processor.config_for mode
+  in
+  let asm = Gb_kernelc.Compile.assemble program in
+  let proc = Gb_system.Processor.create ~config asm in
+  let result = Gb_system.Processor.run proc in
+  let mem = Gb_system.Processor.mem proc in
+  let len = String.length secret in
+  let recovered = Side_channel.read_recovered mem asm ~len in
+  let correct =
+    List.length
+      (List.filter
+         (fun i -> recovered.[i] = secret.[i])
+         (List.init len (fun i -> i)))
+  in
+  {
+    recovered;
+    correct_bytes = correct;
+    total_bytes = len;
+    accuracy = float_of_int correct /. float_of_int len;
+    result;
+  }
+
+let succeeded o = o.correct_bytes = o.total_bytes
+
+let printable s =
+  String.map (fun ch -> if Char.code ch >= 32 && Char.code ch < 127 then ch else '.') s
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "recovered %d/%d bytes (%.0f%%): %S" o.correct_bytes
+    o.total_bytes (100. *. o.accuracy) (printable o.recovered)

@@ -1,0 +1,24 @@
+(** Run a Spectre proof-of-concept on the full processor and score how much
+    of the secret leaked. *)
+
+type outcome = {
+  recovered : string;  (** bytes the attacker extracted *)
+  correct_bytes : int;
+  total_bytes : int;
+  accuracy : float;  (** correct / total *)
+  result : Gb_system.Processor.result;
+}
+
+val run :
+  ?config:Gb_system.Processor.config ->
+  mode:Gb_core.Mitigation.mode ->
+  secret:string ->
+  Gb_kernelc.Ast.program ->
+  outcome
+(** The program must use the {!Side_channel} layout (arrays [recovered] and
+    [results]). *)
+
+val succeeded : outcome -> bool
+(** True when every secret byte was recovered. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

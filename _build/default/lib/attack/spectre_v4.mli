@@ -1,0 +1,17 @@
+(** Spectre v4 on the DBT processor (Section III-B / Figure 2): memory
+    dependency speculation through the Memory Conflict Buffer.
+
+    Each round stores the malicious index into [addr_buf\[0\]], then
+    overwrites it with a safe index through a store whose address depends
+    on a long computation. The DBT engine cannot disambiguate the
+    following loads against that store, speculates them above it under MCB
+    protection, and the dependent chain
+
+    {v a = addr_buf[0]; b = buffer[a]; x = array_val[b * 128] v}
+
+    executes with the {e stale, malicious} index — caching the
+    secret-dependent probe line — before the store's MCB probe forces a
+    rollback and the architecturally-correct re-execution. *)
+
+val program : ?train:int -> secret:string -> unit -> Gb_kernelc.Ast.program
+(** [train] defaults to 40 rounds per byte. *)

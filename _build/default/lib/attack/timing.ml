@@ -1,0 +1,49 @@
+open Gb_kernelc.Dsl
+
+let program ~hot =
+  {
+    Gb_kernelc.Ast.arrays =
+      [
+        Gb_kernelc.Dsl.array "array_val" Gb_kernelc.Ast.I8
+          [ Side_channel.n_candidates * Side_channel.stride ];
+        Gb_kernelc.Dsl.array "results" Gb_kernelc.Ast.I64
+          [ Side_channel.n_candidates ];
+      ];
+    body =
+      [
+        (* repeat to let the probe loop get hot and translated: the
+           measurement of interest is the final round, and it must run the
+           same way the attack's probe runs (on the VLIW core) *)
+        for_ "r" (c 0) (c 30)
+          ([ Side_channel.flush_probe_array ]
+          @ List.map
+              (fun candidate ->
+                let_
+                  (Printf.sprintf "touch%d" candidate)
+                  (arr "array_val" [ c (candidate * Side_channel.stride) ]))
+              hot
+          @ [
+              for_ "p" (c 0) (c Side_channel.n_candidates)
+                [
+                  let_ "t0" Gb_kernelc.Ast.Cycle;
+                  let_ "x" (arr "array_val" [ v "p" *: c Side_channel.stride ]);
+                  let_ "t1" Gb_kernelc.Ast.Cycle;
+                  ("results", [ v "p" ]) <-: (v "t1" -: v "t0" +: (v "x" *: c 0));
+                ];
+            ]);
+      ];
+    result = c 0;
+  }
+
+let measure ?(mode = Gb_core.Mitigation.Unsafe) ~hot () =
+  let asm = Gb_kernelc.Compile.assemble (program ~hot) in
+  let proc =
+    Gb_system.Processor.create
+      ~config:(Gb_system.Processor.config_for mode)
+      asm
+  in
+  let (_ : Gb_system.Processor.result) = Gb_system.Processor.run proc in
+  let mem = Gb_system.Processor.mem proc in
+  let addr = Gb_riscv.Asm.symbol asm "results" in
+  Array.init Side_channel.n_candidates (fun i ->
+      Int64.to_int (Gb_riscv.Mem.load mem ~addr:(addr + (8 * i)) ~size:8))

@@ -1,0 +1,16 @@
+(** Experiment E5: the stand-alone flush+reload timing harness.
+
+    The paper (§V-A) observes that the in-order DBT core has much more
+    stable memory timings than an OoO core, which makes the hit/miss
+    discrimination of the side channel straightforward. This harness
+    measures it directly: flush all probe lines, re-touch a chosen subset,
+    then time a load from every line and record the latencies. *)
+
+val program : hot:int list -> Gb_kernelc.Ast.program
+(** [hot] lists the candidate indices (0..255) re-touched between flush
+    and probe; they should measure as hits, all others as misses. *)
+
+val measure :
+  ?mode:Gb_core.Mitigation.mode -> hot:int list -> unit -> int array
+(** Run the harness on the full processor and return the 256 measured
+    probe latencies. *)

@@ -1,0 +1,103 @@
+open Gb_kernelc.Dsl
+
+(* A straight-line chunk of work long enough that skipping it vs running
+   it is visible, and distinct enough per direction that the trace really
+   specialises. *)
+let work sink seed =
+  [
+    let_ "w" (v sink +: c seed);
+    set "w" ((v "w" *: c 17) +: c 3);
+    set "w" (v "w" ^: (v "w" >>: c 5));
+    set "w" ((v "w" *: c 29) +: c 7);
+    set "w" (v "w" ^: (v "w" >>: c 3));
+    set "w" ((v "w" *: c 13) +: c 11);
+    set sink (v sink +: (v "w" &: c 255));
+  ]
+
+let train_iters = 60
+
+let program ~bit_index ~secret =
+  {
+    Gb_kernelc.Ast.arrays =
+      [
+        Gb_kernelc.Dsl.array_init "secret" Gb_kernelc.Ast.I8
+          [ String.length secret ] (Gb_kernelc.Ast.Bytes secret);
+        Gb_kernelc.Dsl.array "times" Gb_kernelc.Ast.I64 [ 3 ];
+        Gb_kernelc.Dsl.array "recovered_bit" Gb_kernelc.Ast.I64 [ 1 ];
+      ];
+    body =
+      [
+        (* the secret bit steering the victim's branch *)
+        let_ "bit"
+          ((arr "secret" [ c (bit_index / 8) ] >>: c (bit_index mod 8)) &: c 1);
+        let_ "sink" (c 0);
+        (* phase 0: victim trains the profile with cond = bit;
+           phases 1/2: the attacker probes with cond = 1 then cond = 0 —
+           the SAME loop, hence the same translation-cache entry *)
+        for_ "phase" (c 0) (c 3)
+          [
+            let_ "is_victim" (v "phase" =: c 0);
+            let_ "cond"
+              ((v "is_victim" *: v "bit")
+              +: ((c 1 -: v "is_victim")
+                 *: Gb_kernelc.Ast.Bin (Gb_kernelc.Ast.Eq, v "phase", c 1)));
+            let_ "t0" Gb_kernelc.Ast.Cycle;
+            for_ "t" (c 0) (c train_iters)
+              [ if_ (v "cond") (work "sink" 5) (work "sink" 9) ];
+            let_ "t1" Gb_kernelc.Ast.Cycle;
+            ("times", [ v "phase" ]) <-: (v "t1" -: v "t0");
+          ];
+        (* the direction that matches the trained trace is the faster one *)
+        ("recovered_bit", [ c 0 ]) <-:
+          (arr "times" [ c 1 ] <: arr "times" [ c 2 ]);
+        (* keep the sink live *)
+        Gb_kernelc.Ast.Emit_byte (v "sink" &: c 0);
+      ];
+    result = c 0;
+  }
+
+type outcome = { recovered : string; correct_bits : int; total_bits : int }
+
+let run ?(mode = Gb_core.Mitigation.Unsafe) ~secret () =
+  let total_bits = 8 * String.length secret in
+  let bits =
+    List.init total_bits (fun bit_index ->
+        let asm = Gb_kernelc.Compile.assemble (program ~bit_index ~secret) in
+        let proc =
+          Gb_system.Processor.create
+            ~config:(Gb_system.Processor.config_for mode)
+            asm
+        in
+        let (_ : Gb_system.Processor.result) = Gb_system.Processor.run proc in
+        let addr = Gb_riscv.Asm.symbol asm "recovered_bit" in
+        Int64.to_int
+          (Gb_riscv.Mem.load (Gb_system.Processor.mem proc) ~addr ~size:8)
+        land 1)
+  in
+  let recovered =
+    String.init (String.length secret) (fun byte ->
+        let value =
+          List.fold_left
+            (fun acc bit -> acc lor (List.nth bits ((8 * byte) + bit) lsl bit))
+            0
+            (List.init 8 Fun.id)
+        in
+        Char.chr value)
+  in
+  let correct_bits =
+    List.length
+      (List.filter
+         (fun i ->
+           (Char.code secret.[i / 8] lsr (i mod 8)) land 1 = List.nth bits i)
+         (List.init total_bits Fun.id))
+  in
+  { recovered; correct_bits; total_bits }
+
+let pp_outcome ppf o =
+  let printable =
+    String.map
+      (fun ch -> if Char.code ch >= 32 && Char.code ch < 127 then ch else '.')
+      o.recovered
+  in
+  Format.fprintf ppf "recovered %d/%d bits: %S" o.correct_bits o.total_bits
+    printable

@@ -1,0 +1,37 @@
+(** The optimization-decision side channel the paper's conclusion flags as
+    future work ("we also have to make sure that the optimization decision
+    made in the DBT engine does not leak information on secret data").
+
+    The translation cache is shared micro-architectural state, exactly
+    like the data cache. Here the victim executes a loop whose branch
+    direction is a {e secret bit}; the DBT engine profiles that branch and
+    specialises the hot trace on the secret-dependent direction. The
+    attacker then drives the same code down both directions and times
+    them: the direction matching the trained trace runs without side
+    exits, the other one side-exits on every iteration — recovering the
+    bit.
+
+    No load ever touches secret-dependent memory, so the poisoning
+    analysis has nothing to find: {e every} mitigation mode of the paper
+    leaks this bit equally (asserted by the tests). Closing this channel
+    needs different machinery (secret-independent profiling or
+    translation on both paths). *)
+
+val program : bit_index:int -> secret:string -> Gb_kernelc.Ast.program
+(** One extraction round: trains on bit [bit_index] of [secret] (bit 0 =
+    LSB of byte 0), probes both directions, and stores the recovered bit
+    in the [recovered_bit] array (1 element). *)
+
+type outcome = {
+  recovered : string;  (** reassembled bytes *)
+  correct_bits : int;
+  total_bits : int;
+}
+
+val run :
+  ?mode:Gb_core.Mitigation.mode -> secret:string -> unit -> outcome
+(** Extract [8 * String.length secret] bits, one processor run each
+    (every run starts with a cold translation cache, as separate victim
+    invocations would). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

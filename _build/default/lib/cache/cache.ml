@@ -1,0 +1,116 @@
+type config = { size_bytes : int; ways : int; line_bytes : int }
+
+let default_config = { size_bytes = 64 * 1024; ways = 8; line_bytes = 64 }
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable read_misses : int;
+  mutable write_misses : int;
+  mutable flushes : int;
+}
+
+type t = {
+  cfg : config;
+  sets : int;
+  tags : int array array;  (** sets x ways; -1 = invalid *)
+  last_use : int array array;  (** LRU timestamps *)
+  mutable tick : int;
+  stats : stats;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create cfg =
+  if not (is_pow2 cfg.line_bytes) then invalid_arg "Cache: line size";
+  let sets = cfg.size_bytes / (cfg.line_bytes * cfg.ways) in
+  if sets <= 0 || not (is_pow2 sets) then invalid_arg "Cache: geometry";
+  {
+    cfg;
+    sets;
+    tags = Array.init sets (fun _ -> Array.make cfg.ways (-1));
+    last_use = Array.init sets (fun _ -> Array.make cfg.ways 0);
+    tick = 0;
+    stats = { reads = 0; writes = 0; read_misses = 0; write_misses = 0; flushes = 0 };
+  }
+
+let config t = t.cfg
+
+let stats t = t.stats
+
+let line_of t addr = addr land lnot (t.cfg.line_bytes - 1)
+
+let set_and_tag t addr =
+  let line = addr / t.cfg.line_bytes in
+  (line land (t.sets - 1), line / t.sets)
+
+let find_way t set tag =
+  let tags = t.tags.(set) in
+  let rec go i =
+    if i >= t.cfg.ways then None
+    else if tags.(i) = tag then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let lru_way t set =
+  let use = t.last_use.(set) in
+  let tags = t.tags.(set) in
+  let best = ref 0 in
+  for i = 1 to t.cfg.ways - 1 do
+    (* prefer invalid ways, then oldest *)
+    if tags.(i) = -1 && tags.(!best) <> -1 then best := i
+    else if tags.(i) = -1 && tags.(!best) = -1 then ()
+    else if tags.(!best) <> -1 && use.(i) < use.(!best) then best := i
+  done;
+  !best
+
+let touch_line t addr ~write =
+  let set, tag = set_and_tag t addr in
+  t.tick <- t.tick + 1;
+  match find_way t set tag with
+  | Some way ->
+    t.last_use.(set).(way) <- t.tick;
+    true
+  | None ->
+    let way = lru_way t set in
+    t.tags.(set).(way) <- tag;
+    t.last_use.(set).(way) <- t.tick;
+    if write then t.stats.write_misses <- t.stats.write_misses + 1
+    else t.stats.read_misses <- t.stats.read_misses + 1;
+    false
+
+let access t ~addr ~write =
+  if write then t.stats.writes <- t.stats.writes + 1
+  else t.stats.reads <- t.stats.reads + 1;
+  touch_line t addr ~write
+
+let access_range t ~addr ~size ~write =
+  let first = access t ~addr ~write in
+  let last_addr = addr + size - 1 in
+  if line_of t last_addr <> line_of t addr then
+    let second = touch_line t last_addr ~write in
+    first && second
+  else first
+
+let contains t addr =
+  let set, tag = set_and_tag t addr in
+  match find_way t set tag with Some _ -> true | None -> false
+
+let flush_line t addr =
+  let set, tag = set_and_tag t addr in
+  t.stats.flushes <- t.stats.flushes + 1;
+  match find_way t set tag with
+  | Some way -> t.tags.(set).(way) <- -1
+  | None -> ()
+
+let flush_all t =
+  Array.iter (fun ways -> Array.fill ways 0 (Array.length ways) (-1)) t.tags
+
+let reset_stats t =
+  let s = t.stats in
+  s.reads <- 0;
+  s.writes <- 0;
+  s.read_misses <- 0;
+  s.write_misses <- 0;
+  s.flushes <- 0

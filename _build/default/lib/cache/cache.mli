@@ -1,0 +1,53 @@
+(** Set-associative data cache with LRU replacement.
+
+    Only presence/absence of lines is modelled (no data storage — the
+    simulator's memory is always coherent); this is sufficient and exact
+    for timing and for the flush+reload side channel. Write misses
+    allocate (write-allocate policy). *)
+
+type config = {
+  size_bytes : int;  (** total capacity *)
+  ways : int;  (** associativity *)
+  line_bytes : int;  (** line size (power of two) *)
+}
+
+val default_config : config
+(** 64 KiB, 8-way, 64-byte lines. *)
+
+type t
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable read_misses : int;
+  mutable write_misses : int;
+  mutable flushes : int;
+}
+
+val create : config -> t
+
+val config : t -> config
+
+val stats : t -> stats
+
+val line_of : t -> int -> int
+(** Line-aligned base address of the line containing an address. *)
+
+val access : t -> addr:int -> write:bool -> bool
+(** Touch one address: returns [true] on hit. Misses allocate the line,
+    evicting the LRU way. Accesses that straddle a line boundary touch the
+    second line too (a miss in either counts as a miss). *)
+
+val access_range : t -> addr:int -> size:int -> write:bool -> bool
+(** [access] over [size] bytes. *)
+
+val contains : t -> int -> bool
+(** Presence probe that does not disturb LRU state (for tests and
+    reporting). *)
+
+val flush_line : t -> int -> unit
+(** Invalidate the line containing an address (no-op when absent). *)
+
+val flush_all : t -> unit
+
+val reset_stats : t -> unit

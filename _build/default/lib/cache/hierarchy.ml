@@ -1,0 +1,22 @@
+type config = { cache : Cache.config; hit_extra : int; miss_penalty : int }
+
+let default_config =
+  { cache = Cache.default_config; hit_extra = 1; miss_penalty = 40 }
+
+type t = { cfg : config; l1d : Cache.t }
+
+let create cfg = { cfg; l1d = Cache.create cfg.cache }
+
+let cache t = t.l1d
+
+let config t = t.cfg
+
+let access t ~addr ~size ~write = Cache.access_range t.l1d ~addr ~size ~write
+
+let interp_cost t ~hit = if hit then t.cfg.hit_extra else t.cfg.miss_penalty
+
+let vliw_cost t ~hit = if hit then 0 else t.cfg.miss_penalty
+
+let flush_line t addr = Cache.flush_line t.l1d addr
+
+let flush_all t = Cache.flush_all t.l1d

@@ -1,0 +1,37 @@
+(** The memory hierarchy seen by both the interpreter and the VLIW core:
+    one L1 data cache in front of a flat-latency main memory.
+
+    Callers translate the hit/miss outcome into stall cycles themselves:
+    the interpreter charges [hit_extra] even on hits (its serial
+    load-to-use path), while the VLIW pipeline hides the hit latency in
+    the schedule and only stalls for [miss_penalty]. *)
+
+type config = {
+  cache : Cache.config;
+  hit_extra : int;  (** extra cycles on hit on the interpreter path *)
+  miss_penalty : int;  (** extra cycles on a miss, either path *)
+}
+
+val default_config : config
+(** 64 KiB 8-way L1, hit_extra = 1, miss_penalty = 40. *)
+
+type t
+
+val create : config -> t
+
+val cache : t -> Cache.t
+
+val config : t -> config
+
+val access : t -> addr:int -> size:int -> write:bool -> bool
+(** Touch the cache; returns [true] on hit. *)
+
+val interp_cost : t -> hit:bool -> int
+(** [hit_extra] or [miss_penalty]. *)
+
+val vliw_cost : t -> hit:bool -> int
+(** [0] or [miss_penalty]. *)
+
+val flush_line : t -> int -> unit
+
+val flush_all : t -> unit

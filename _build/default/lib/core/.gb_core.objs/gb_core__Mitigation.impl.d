@@ -1,0 +1,1 @@
+lib/core/mitigation.ml: Gb_ir List Poison

@@ -1,0 +1,1 @@
+lib/core/mitigation.mli: Gb_ir

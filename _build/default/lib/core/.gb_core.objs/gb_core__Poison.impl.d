@@ -1,0 +1,1 @@
+lib/core/poison.ml: Array Format Gb_ir List

@@ -1,0 +1,1 @@
+lib/core/poison.mli: Format Gb_ir

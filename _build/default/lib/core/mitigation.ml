@@ -1,0 +1,100 @@
+type mode = Unsafe | Fine_grained | Fence_on_detect | No_speculation
+
+let mode_name = function
+  | Unsafe -> "unsafe"
+  | Fine_grained -> "fine-grained"
+  | Fence_on_detect -> "fence-on-detect"
+  | No_speculation -> "no-speculation"
+
+let all_modes = [ Unsafe; Fine_grained; Fence_on_detect; No_speculation ]
+
+let opt_of_mode = function
+  | Unsafe | Fine_grained | Fence_on_detect -> Gb_ir.Opt_config.aggressive
+  | No_speculation -> Gb_ir.Opt_config.no_speculation
+
+type report = {
+  patterns_found : int;
+  loads_constrained : int;
+  fences_inserted : int;
+  rounds : int;
+}
+
+let empty_report =
+  { patterns_found = 0; loads_constrained = 0; fences_inserted = 0; rounds = 0 }
+
+(* De-speculate one load: restore the dependencies the optimizer removed
+   and drop its MCB tag (its chk becomes a dead check that never fires). *)
+let constrain_load g id =
+  let node = Gb_ir.Dfg.node g id in
+  match Gb_ir.Dfg.spec_of node with
+  | None -> invalid_arg "constrain_load: not a load"
+  | Some spec ->
+    (match spec.Gb_ir.Dfg.spec_prev_store with
+    | Some store ->
+      Gb_ir.Dfg.add_edge g ~from:store ~to_:id ~lat:1 ~kind:Gb_ir.Dfg.Emem
+    | None -> ());
+    (match spec.Gb_ir.Dfg.spec_prev_branch with
+    | Some branch ->
+      Gb_ir.Dfg.add_edge g ~from:branch ~to_:id ~lat:1 ~kind:Gb_ir.Dfg.Ectrl
+    | None -> ());
+    spec.Gb_ir.Dfg.tag <- None;
+    spec.Gb_ir.Dfg.constrained <- true
+
+(* Insert a full barrier immediately before node [id]: everything with a
+   smaller (original) id completes first; nothing at or after [id] may be
+   scheduled before the fence. *)
+let insert_fence g ~lat id =
+  let boundary = id in
+  let fence =
+    Gb_ir.Dfg.add_node g ~kind:Gb_ir.Dfg.Kfence ~srcs:[||]
+      ~guest_pc:(Gb_ir.Dfg.node g id).Gb_ir.Dfg.guest_pc ()
+  in
+  (* Mitigation fences are appended at the end of the node array, so their
+     ids do not reflect program position; connecting fences to each other
+     could create cycles. Each fence only orders the original nodes. *)
+  Gb_ir.Dfg.iter_nodes g (fun n ->
+      let nid = n.Gb_ir.Dfg.id in
+      match n.Gb_ir.Dfg.kind with
+      | Gb_ir.Dfg.Kfence -> ()
+      | _ ->
+        if nid < boundary then
+          Gb_ir.Dfg.add_edge g ~from:nid ~to_:fence
+            ~lat:(Gb_ir.Build.latency_of lat n.Gb_ir.Dfg.kind)
+            ~kind:Gb_ir.Dfg.Ectrl
+        else
+          Gb_ir.Dfg.add_edge g ~from:fence ~to_:nid ~lat:1 ~kind:Gb_ir.Dfg.Ectrl)
+
+let apply mode ~lat g =
+  match mode with
+  | Unsafe | No_speculation -> empty_report
+  | Fine_grained | Fence_on_detect ->
+    let patterns_found = ref 0 in
+    let constrained = ref 0 in
+    let fences = ref 0 in
+    let rounds = ref 0 in
+    let rec fixpoint () =
+      incr rounds;
+      let { Poison.patterns; _ } = Poison.analyze g in
+      match patterns with
+      | [] -> ()
+      | _ :: _ ->
+        patterns_found := !patterns_found + List.length patterns;
+        List.iter
+          (fun id ->
+            (match mode with
+            | Fence_on_detect ->
+              insert_fence g ~lat id;
+              incr fences
+            | Fine_grained | Unsafe | No_speculation -> ());
+            constrain_load g id;
+            incr constrained)
+          patterns;
+        fixpoint ()
+    in
+    fixpoint ();
+    {
+      patterns_found = !patterns_found;
+      loads_constrained = !constrained;
+      fences_inserted = !fences;
+      rounds = !rounds;
+    }

@@ -1,0 +1,36 @@
+(** The countermeasure (Section IV-B): constrain the schedule so detected
+    Spectre patterns cannot leak.
+
+    Four modes are evaluated in the paper:
+    - [Unsafe]: no countermeasure (the baseline of Figure 4);
+    - [Fine_grained]: the paper's contribution — for each detected
+      pattern, re-insert only the control/memory dependency of the leaking
+      load (the red dashed edge of Figure 3-C);
+    - [Fence_on_detect]: insert a full scheduling barrier in front of each
+      detected pattern (the OO7-style fence the paper compares against);
+    - [No_speculation]: turn speculation off entirely in the optimizer
+      (handled upstream via {!Gb_ir.Opt_config.no_speculation}; applying
+      it here is a no-op). *)
+
+type mode = Unsafe | Fine_grained | Fence_on_detect | No_speculation
+
+val mode_name : mode -> string
+
+val all_modes : mode list
+
+val opt_of_mode : mode -> Gb_ir.Opt_config.t
+(** Speculation switches the optimizer should run with under each mode. *)
+
+type report = {
+  patterns_found : int;  (** Spectre patterns detected (over all rounds) *)
+  loads_constrained : int;
+  fences_inserted : int;
+  rounds : int;  (** analyze/constrain iterations until fixpoint *)
+}
+
+val empty_report : report
+
+val apply : mode -> lat:Gb_ir.Latency.t -> Gb_ir.Dfg.t -> report
+(** Run the poisoning analysis to fixpoint, constraining every detected
+    pattern according to [mode]. After this returns, re-running
+    {!Poison.analyze} finds no pattern (verified by property tests). *)

@@ -1,0 +1,45 @@
+type result = { poisoned : bool array; patterns : int list }
+
+let analyze g =
+  let n = Gb_ir.Dfg.n_nodes g in
+  let poisoned = Array.make n false in
+  let patterns = ref [] in
+  let value_poisoned = function
+    | Gb_ir.Dfg.Node id -> poisoned.(id)
+    | Gb_ir.Dfg.Reg_in _ | Gb_ir.Dfg.Imm _ -> false
+  in
+  for id = 0 to n - 1 do
+    let node = Gb_ir.Dfg.node g id in
+    let from_inputs = Array.exists value_poisoned node.Gb_ir.Dfg.srcs in
+    let speculative = Gb_ir.Dfg.is_speculative node in
+    (* The leaking pattern: a speculative load whose address is poisoned. *)
+    if speculative && Gb_ir.Dfg.is_load node.Gb_ir.Dfg.kind && from_inputs
+    then patterns := id :: !patterns;
+    poisoned.(id) <- from_inputs || speculative
+  done;
+  { poisoned; patterns = List.rev !patterns }
+
+let pp_explain ppf g =
+  let { poisoned; patterns } = analyze g in
+  let pattern_set = List.fold_left (fun s i -> i :: s) [] patterns in
+  Format.fprintf ppf "poisoning analysis: %d nodes, %d Spectre pattern(s)@."
+    (Gb_ir.Dfg.n_nodes g) (List.length patterns);
+  Gb_ir.Dfg.iter_nodes g (fun node ->
+      let id = node.Gb_ir.Dfg.id in
+      let kind_str =
+        match node.Gb_ir.Dfg.kind with
+        | Gb_ir.Dfg.Kalu _ -> "alu"
+        | Gb_ir.Dfg.Kload _ -> "load"
+        | Gb_ir.Dfg.Kstore _ -> "store"
+        | Gb_ir.Dfg.Kbranch _ -> "branch(side-exit)"
+        | Gb_ir.Dfg.Kchk _ -> "chk(mcb)"
+        | Gb_ir.Dfg.Kexit -> "exit"
+        | Gb_ir.Dfg.Krdcycle -> "rdcycle"
+        | Gb_ir.Dfg.Kcflush -> "cflush"
+        | Gb_ir.Dfg.Kfence -> "fence"
+      in
+      Format.fprintf ppf "  n%-3d %-18s pc=0x%x%s%s%s@." id kind_str
+        node.Gb_ir.Dfg.guest_pc
+        (if Gb_ir.Dfg.is_speculative node then "  SPECULATIVE" else "")
+        (if poisoned.(id) then "  poisoned" else "")
+        (if List.mem id pattern_set then "  << SPECTRE PATTERN" else ""))

@@ -1,0 +1,26 @@
+(** The GhostBusters poisoning analysis (Section IV-A of the paper).
+
+    Run on one IR block before scheduling:
+    - a speculative instruction (a load whose dependency on a preceding
+      conditional branch or memory write has been removed) generates a
+      poisoned value;
+    - an instruction using a poisoned operand generates a poisoned value;
+    - a {e speculative memory instruction using a poisoned value as its
+      address} can leak through the cache side channel: it is the Spectre
+      pattern and must be constrained.
+
+    A single forward pass suffices: data sources always reference earlier
+    nodes. *)
+
+type result = {
+  poisoned : bool array;  (** per node id: does it produce a poisoned value *)
+  patterns : int list;
+      (** ids of speculative loads with a poisoned address, in program
+          order — the leaking instructions *)
+}
+
+val analyze : Gb_ir.Dfg.t -> result
+
+val pp_explain : Format.formatter -> Gb_ir.Dfg.t -> unit
+(** Figure-3-style dump: the data-flow graph with poisoned values and
+    detected Spectre patterns annotated. *)

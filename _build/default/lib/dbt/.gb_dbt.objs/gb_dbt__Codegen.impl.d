@@ -1,0 +1,1 @@
+lib/dbt/codegen.ml: Array Gb_ir Gb_vliw Hashtbl List Sched

@@ -1,0 +1,1 @@
+lib/dbt/codegen.mli: Gb_ir Gb_vliw Sched

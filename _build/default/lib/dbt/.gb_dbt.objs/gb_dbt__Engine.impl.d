@@ -1,0 +1,1 @@
+lib/dbt/engine.ml: Codegen First_pass Gb_core Gb_ir Gb_riscv Gb_vliw Hashtbl List Option Sched Trace_builder

@@ -1,0 +1,1 @@
+lib/dbt/engine.mli: Gb_core Gb_ir Gb_riscv Gb_vliw Sched Trace_builder

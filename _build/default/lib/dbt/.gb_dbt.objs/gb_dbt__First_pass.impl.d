@@ -1,0 +1,1 @@
+lib/dbt/first_pass.ml: Array Gb_ir Gb_riscv Gb_vliw Int64 List

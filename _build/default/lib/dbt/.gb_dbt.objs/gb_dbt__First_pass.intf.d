@@ -1,0 +1,1 @@
+lib/dbt/first_pass.mli: Gb_riscv Gb_vliw

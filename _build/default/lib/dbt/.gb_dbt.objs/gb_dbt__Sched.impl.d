@@ -1,0 +1,1 @@
+lib/dbt/sched.ml: Array Gb_ir List Queue Set

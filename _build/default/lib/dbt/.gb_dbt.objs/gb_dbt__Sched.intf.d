@@ -1,0 +1,1 @@
+lib/dbt/sched.mli: Gb_ir

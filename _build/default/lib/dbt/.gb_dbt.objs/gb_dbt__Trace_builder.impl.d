@@ -1,0 +1,1 @@
+lib/dbt/trace_builder.ml: Gb_ir Gb_riscv Hashtbl List

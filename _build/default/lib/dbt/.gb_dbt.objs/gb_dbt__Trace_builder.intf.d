@@ -1,0 +1,1 @@
+lib/dbt/trace_builder.mli: Gb_ir Gb_riscv

@@ -1,0 +1,21 @@
+(** VLIW code generation: turn a scheduled DFG into an executable trace.
+
+    Every value-producing node is renamed onto a hidden register whose live
+    range spans from its issue cycle to its last (data or exit-stub) use;
+    hidden registers are reused once free. Exit-like nodes become control
+    operations pointing at compensation stubs that commit the guest
+    registers live at that exit. *)
+
+exception Out_of_registers
+(** Register pressure exceeded the hidden register file; the engine falls
+    back to interpretation for this trace. *)
+
+val emit :
+  Sched.resources ->
+  n_hidden:int ->
+  cycles:int array ->
+  entry_pc:int ->
+  guest_insns:int ->
+  meta:Gb_vliw.Vinsn.meta ->
+  Gb_ir.Dfg.t ->
+  Gb_vliw.Vinsn.trace

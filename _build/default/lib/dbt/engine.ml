@@ -1,0 +1,334 @@
+type config = {
+  adaptive_retranslate : bool;
+  adaptive_despec : bool;
+  first_pass_threshold : int;
+  hot_threshold : int;
+  mode : Gb_core.Mitigation.mode;
+  opt_override : Gb_ir.Opt_config.t option;
+  resources : Sched.resources;
+  lat : Gb_ir.Latency.t;
+  trace_cfg : Trace_builder.config;
+  n_hidden : int;
+}
+
+let default_config =
+  {
+    adaptive_retranslate = true;
+    adaptive_despec = false;
+    first_pass_threshold = 4;
+    hot_threshold = 24;
+    mode = Gb_core.Mitigation.Unsafe;
+    opt_override = None;
+    resources = Sched.default_resources;
+    lat = Gb_ir.Latency.default;
+    trace_cfg = Trace_builder.default_config;
+    n_hidden = 96;
+  }
+
+type stats = {
+  mutable retranslations : int;
+  mutable despeculations : int;
+  mutable first_pass_translations : int;
+  mutable translations : int;
+  mutable failures : int;
+  mutable guest_insns_translated : int;
+  mutable patterns_found : int;
+  mutable loads_constrained : int;
+  mutable fences_inserted : int;
+  mutable spec_loads : int;
+  mutable branch_spec_loads : int;
+}
+
+type t = {
+  cfg : config;
+  mem : Gb_riscv.Mem.t;
+  cache : (int, Gb_vliw.Vinsn.trace) Hashtbl.t;
+  blocks : (int, Gb_vliw.Vinsn.trace) Hashtbl.t;  (** first-level tier *)
+  block_meta : (int, int option) Hashtbl.t;
+      (** entry -> terminal branch pc of the first-level block *)
+  blacklist : (int, unit) Hashtbl.t;
+  fp_blacklist : (int, unit) Hashtbl.t;
+  region_runs : (int, int) Hashtbl.t;
+  region_rollbacks : (int, int) Hashtbl.t;
+  region_side_exits : (int, int) Hashtbl.t;
+  rebuilds : (int, int) Hashtbl.t;  (** bias-driven rebuilds per entry *)
+  trace_branches : (int, int list) Hashtbl.t;
+      (** entry -> pcs of the conditional branches inside the trace *)
+  despeculated : (int, unit) Hashtbl.t;
+  hot : (int, int) Hashtbl.t;
+  branches : (int, int * int) Hashtbl.t;  (** pc -> (taken, total) *)
+  stats : stats;
+}
+
+let create cfg ~mem =
+  {
+    cfg;
+    mem;
+    cache = Hashtbl.create 64;
+    blocks = Hashtbl.create 128;
+    block_meta = Hashtbl.create 128;
+    blacklist = Hashtbl.create 16;
+    fp_blacklist = Hashtbl.create 16;
+    region_runs = Hashtbl.create 128;
+    region_rollbacks = Hashtbl.create 32;
+    region_side_exits = Hashtbl.create 64;
+    rebuilds = Hashtbl.create 16;
+    trace_branches = Hashtbl.create 64;
+    despeculated = Hashtbl.create 16;
+    hot = Hashtbl.create 256;
+    branches = Hashtbl.create 256;
+    stats =
+      {
+        retranslations = 0;
+        despeculations = 0;
+        first_pass_translations = 0;
+        translations = 0;
+        failures = 0;
+        guest_insns_translated = 0;
+        patterns_found = 0;
+        loads_constrained = 0;
+        fences_inserted = 0;
+        spec_loads = 0;
+        branch_spec_loads = 0;
+      };
+  }
+
+let config t = t.cfg
+
+let stats t = t.stats
+
+let lookup t pc =
+  match Hashtbl.find_opt t.cache pc with
+  | Some trace -> Some trace
+  | None -> Hashtbl.find_opt t.blocks pc
+
+let record_branch_outcome t pc taken =
+  let t_cnt, total =
+    match Hashtbl.find_opt t.branches pc with Some v -> v | None -> (0, 0)
+  in
+  Hashtbl.replace t.branches pc ((t_cnt + if taken then 1 else 0), total + 1)
+
+let record_branch t ~pc ~taken = record_branch_outcome t pc taken
+
+(* Adaptive de-speculation: a trace whose MCB rollback rate crosses the
+   threshold is re-translated without memory speculation — misspeculation
+   replay is more expensive than the parallelism it buys. *)
+let despec_min_rollbacks = 8
+
+let consider_despeculation t entry =
+  if t.cfg.adaptive_despec && not (Hashtbl.mem t.despeculated entry) then begin
+    let rollbacks =
+      Option.value ~default:0 (Hashtbl.find_opt t.region_rollbacks entry)
+    in
+    let runs = Option.value ~default:0 (Hashtbl.find_opt t.region_runs entry) in
+    if rollbacks >= despec_min_rollbacks && rollbacks * 8 >= runs then begin
+      (* drop the speculative translation; the entry counter is already
+         past the hot threshold, so the next arrival re-translates it
+         under the de-speculated configuration *)
+      Hashtbl.replace t.despeculated entry ();
+      Hashtbl.remove t.cache entry;
+      Hashtbl.remove t.blacklist entry;
+      t.stats.despeculations <- t.stats.despeculations + 1
+    end
+  end
+
+(* Adaptive re-translation: when a phase change flips a branch the trace
+   was specialised on, essentially every run leaves through its first side
+   exit. Drop the stale trace so it is rebuilt from the current profile.
+   The threshold is a 3/4 exit ratio: loops with short trip counts exit
+   every few runs as a matter of course (~25-50 %) and must not be
+   touched — only a flipped bias drives the ratio towards 100 %. A small
+   rebuild budget prevents thrashing on genuinely unbiased regions. *)
+let retranslate_min_side_exits = 48
+
+let max_bias_rebuilds = 2
+
+(* interpreted executions used to re-learn the branch bias after a stale
+   trace is dropped (the old profile is discarded: cumulative counts from
+   the previous phase would otherwise dominate the ratio forever) *)
+let relearn_window = 16
+
+let consider_retranslation t entry =
+  if t.cfg.adaptive_retranslate
+     && Hashtbl.mem t.cache entry
+     && Option.value ~default:0 (Hashtbl.find_opt t.rebuilds entry)
+        < max_bias_rebuilds
+  then begin
+    let side_exits =
+      Option.value ~default:0 (Hashtbl.find_opt t.region_side_exits entry)
+    in
+    let runs = Option.value ~default:0 (Hashtbl.find_opt t.region_runs entry) in
+    if side_exits >= retranslate_min_side_exits && side_exits * 4 >= runs * 3
+    then begin
+      Hashtbl.replace t.rebuilds entry
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.rebuilds entry));
+      Hashtbl.remove t.cache entry;
+      Hashtbl.remove t.blacklist entry;
+      Hashtbl.replace t.region_side_exits entry 0;
+      Hashtbl.replace t.region_runs entry 0;
+      (* forget the stale bias and re-learn it on the interpreter *)
+      List.iter
+        (fun pc -> Hashtbl.remove t.branches pc)
+        (Option.value ~default:[] (Hashtbl.find_opt t.trace_branches entry));
+      Hashtbl.replace t.hot entry (t.cfg.hot_threshold - relearn_window);
+      t.stats.retranslations <- t.stats.retranslations + 1
+    end
+  end
+
+let record_block_exit t ~entry info =
+  Hashtbl.replace t.region_runs entry
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.region_runs entry));
+  (match info.Gb_vliw.Pipeline.kind with
+  | Gb_vliw.Pipeline.Rollback ->
+    Hashtbl.replace t.region_rollbacks entry
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.region_rollbacks entry));
+    consider_despeculation t entry
+  | Gb_vliw.Pipeline.Side_exit ->
+    Hashtbl.replace t.region_side_exits entry
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.region_side_exits entry));
+    consider_retranslation t entry
+  | Gb_vliw.Pipeline.Fallthrough -> ());
+  match Hashtbl.find_opt t.block_meta entry with
+  | Some (Some branch_pc) -> (
+    match info.Gb_vliw.Pipeline.kind with
+    | Gb_vliw.Pipeline.Side_exit -> record_branch_outcome t branch_pc true
+    | Gb_vliw.Pipeline.Fallthrough -> record_branch_outcome t branch_pc false
+    | Gb_vliw.Pipeline.Rollback -> ())
+  | Some None | None -> ()
+
+let translate_first_pass t entry =
+  if Hashtbl.mem t.blocks entry || Hashtbl.mem t.fp_blacklist entry then ()
+  else
+    match First_pass.translate ~mem:t.mem ~entry with
+    | { First_pass.trace; branch_pc } ->
+      Hashtbl.replace t.blocks entry trace;
+      Hashtbl.replace t.block_meta entry branch_pc;
+      t.stats.first_pass_translations <- t.stats.first_pass_translations + 1
+    | exception First_pass.Untranslatable _ ->
+      Hashtbl.replace t.fp_blacklist entry ()
+
+let branch_profile t pc = Hashtbl.find_opt t.branches pc
+
+let graph_meta g (report : Gb_core.Mitigation.report) =
+  let spec_loads = ref 0 in
+  let branch_spec_loads = ref 0 in
+  Gb_ir.Dfg.iter_nodes g (fun n ->
+      match Gb_ir.Dfg.spec_of n with
+      | Some s ->
+        if s.Gb_ir.Dfg.tag <> None then incr spec_loads;
+        if s.Gb_ir.Dfg.spec_prev_branch <> None
+           && not s.Gb_ir.Dfg.constrained
+        then incr branch_spec_loads
+      | None -> ());
+  {
+    Gb_vliw.Vinsn.spec_loads = !spec_loads;
+    branch_spec_loads = !branch_spec_loads;
+    spectre_patterns = report.Gb_core.Mitigation.patterns_found;
+    constrained_loads = report.Gb_core.Mitigation.loads_constrained;
+    fences_inserted = report.Gb_core.Mitigation.fences_inserted;
+  }
+
+let translate t entry =
+  match Hashtbl.find_opt t.cache entry with
+  | Some trace -> Some trace
+  | None ->
+    if Hashtbl.mem t.blacklist entry then None
+    else begin
+      let result =
+        try
+          let profile pc = Hashtbl.find_opt t.branches pc in
+          let gtrace =
+            Trace_builder.build t.cfg.trace_cfg ~mem:t.mem ~profile ~entry
+          in
+          let opt =
+            match t.cfg.opt_override with
+            | Some opt -> opt
+            | None -> Gb_core.Mitigation.opt_of_mode t.cfg.mode
+          in
+          let opt =
+            if Hashtbl.mem t.despeculated entry then
+              { opt with Gb_ir.Opt_config.mem_spec = false; mcb_tags = 0 }
+            else opt
+          in
+          let g = Gb_ir.Build.build ~opt ~lat:t.cfg.lat gtrace in
+          let report = Gb_core.Mitigation.apply t.cfg.mode ~lat:t.cfg.lat g in
+          let cycles = Sched.schedule t.cfg.resources ~lat:t.cfg.lat g in
+          let meta = graph_meta g report in
+          let trace =
+            Codegen.emit t.cfg.resources ~n_hidden:t.cfg.n_hidden ~cycles
+              ~entry_pc:entry
+              ~guest_insns:(Gb_ir.Gtrace.length gtrace)
+              ~meta g
+          in
+          let branch_pcs =
+            List.filter_map
+              (fun st ->
+                match st.Gb_ir.Gtrace.insn with
+                | Gb_riscv.Insn.Branch _ -> Some st.Gb_ir.Gtrace.pc
+                | _ -> None)
+              gtrace.Gb_ir.Gtrace.steps
+          in
+          Some (trace, report, Gb_ir.Gtrace.length gtrace, branch_pcs)
+        with
+        | Trace_builder.Build_failure _ | Gb_ir.Build.Unsupported _
+        | Codegen.Out_of_registers | Sched.Cyclic ->
+          None
+      in
+      match result with
+      | Some (trace, report, len, branch_pcs) ->
+        Hashtbl.replace t.cache entry trace;
+        Hashtbl.replace t.trace_branches entry branch_pcs;
+        Hashtbl.remove t.blocks entry;
+        Hashtbl.remove t.block_meta entry;
+        let s = t.stats in
+        s.translations <- s.translations + 1;
+        s.guest_insns_translated <- s.guest_insns_translated + len;
+        s.patterns_found <-
+          s.patterns_found + report.Gb_core.Mitigation.patterns_found;
+        s.loads_constrained <-
+          s.loads_constrained + report.Gb_core.Mitigation.loads_constrained;
+        s.fences_inserted <-
+          s.fences_inserted + report.Gb_core.Mitigation.fences_inserted;
+        s.spec_loads <-
+          s.spec_loads + trace.Gb_vliw.Vinsn.meta.Gb_vliw.Vinsn.spec_loads;
+        s.branch_spec_loads <-
+          s.branch_spec_loads
+          + trace.Gb_vliw.Vinsn.meta.Gb_vliw.Vinsn.branch_spec_loads;
+        Some trace
+      | None ->
+        Hashtbl.replace t.blacklist entry ();
+        t.stats.failures <- t.stats.failures + 1;
+        None
+    end
+
+type region = {
+  r_entry : int;
+  r_tier : [ `Block | `Trace ];
+  r_trace : Gb_vliw.Vinsn.trace;
+  r_runs : int;
+}
+
+let regions t =
+  let runs entry =
+    Option.value ~default:0 (Hashtbl.find_opt t.region_runs entry)
+  in
+  let of_table tier table =
+    Hashtbl.fold
+      (fun entry trace acc ->
+        { r_entry = entry; r_tier = tier; r_trace = trace; r_runs = runs entry }
+        :: acc)
+      table []
+  in
+  List.sort
+    (fun a b -> compare (b.r_runs, a.r_entry) (a.r_runs, b.r_entry))
+    (of_table `Trace t.cache @ of_table `Block t.blocks)
+
+let record_block_entry t pc =
+  let count = (match Hashtbl.find_opt t.hot pc with Some c -> c | None -> 0) + 1 in
+  Hashtbl.replace t.hot pc count;
+  if count >= t.cfg.hot_threshold
+     && (not (Hashtbl.mem t.cache pc))
+     && not (Hashtbl.mem t.blacklist pc)
+  then ignore (translate t pc)
+  else if count >= t.cfg.first_pass_threshold && count < t.cfg.hot_threshold
+  then translate_first_pass t pc

@@ -1,0 +1,97 @@
+(** The DBT engine: profiling, hot-spot detection, translation and the
+    translation cache.
+
+    The co-designed processor calls {!record_branch} / {!record_block_entry}
+    while interpreting; when a block-entry counter crosses the hot
+    threshold the engine builds a trace, lowers it to the IR, applies the
+    configured GhostBusters mitigation, schedules and emits VLIW code.
+    Failed translations blacklist the pc and execution stays on the
+    interpreter. *)
+
+type config = {
+  adaptive_retranslate : bool;
+      (** rebuild a trace from the current branch profile once its
+          side-exit rate shows the original bias was wrong (e.g. a
+          program phase change flipped a branch). On by default: this is
+          routine DBT hygiene and orthogonal to speculation safety. *)
+  adaptive_despec : bool;
+      (** re-translate a trace without memory speculation once its MCB
+          rollback rate is high (the adaptive reaction of aggressive
+          memory-speculation DBT systems). Off by default: the paper's
+          configuration speculates unconditionally. Side effect worth
+          noting: it also throttles the Spectre v4 attack, whose gadget
+          rolls back on every round. *)
+  first_pass_threshold : int;
+      (** block executions before first-level (naive, non-speculative)
+          translation kicks in *)
+  hot_threshold : int;
+  mode : Gb_core.Mitigation.mode;
+  opt_override : Gb_ir.Opt_config.t option;
+      (** when set, replaces the speculation switches derived from [mode]
+          (used by the design-space ablations, e.g. varying the MCB size) *)
+  resources : Sched.resources;
+  lat : Gb_ir.Latency.t;
+  trace_cfg : Trace_builder.config;
+  n_hidden : int;  (** hidden registers available to the code generator *)
+}
+
+val default_config : config
+(** First-pass threshold 4, hot threshold 24, [Unsafe] mode, default
+    resources/latencies, 96 hidden registers. *)
+
+type stats = {
+  mutable retranslations : int;
+      (** traces rebuilt because their branch bias went stale *)
+  mutable despeculations : int;
+      (** traces re-translated without memory speculation *)
+  mutable first_pass_translations : int;
+  mutable translations : int;
+  mutable failures : int;
+  mutable guest_insns_translated : int;
+  mutable patterns_found : int;
+  mutable loads_constrained : int;
+  mutable fences_inserted : int;
+  mutable spec_loads : int;
+  mutable branch_spec_loads : int;
+}
+
+type t
+
+val create : config -> mem:Gb_riscv.Mem.t -> t
+
+val config : t -> config
+
+val stats : t -> stats
+
+val lookup : t -> int -> Gb_vliw.Vinsn.trace option
+(** Optimized traces take precedence over first-level blocks. *)
+
+val record_block_exit : t -> entry:int -> Gb_vliw.Pipeline.exit_info -> unit
+(** Called by the processor after running a translated region: counts the
+    region's executions and keeps the branch profile alive while warm code
+    executes on the first-level tier (whose blocks end at their first
+    conditional branch). *)
+
+type region = {
+  r_entry : int;
+  r_tier : [ `Block | `Trace ];
+  r_trace : Gb_vliw.Vinsn.trace;
+  r_runs : int;  (** executions observed via {!record_block_exit} *)
+}
+
+val regions : t -> region list
+(** Every currently-translated region, hottest first. *)
+
+val record_branch : t -> pc:int -> taken:bool -> unit
+
+val branch_profile : t -> int -> (int * int) option
+(** The recorded (taken, total) counts of the conditional branch at a pc
+    (used by tools that want to rebuild the same trace the engine saw). *)
+
+val record_block_entry : t -> int -> unit
+(** Bump the execution counter of a control-transfer target; translates it
+    once hot. *)
+
+val translate : t -> int -> Gb_vliw.Vinsn.trace option
+(** Force a translation attempt (used by tests and tools); [None] when the
+    pc cannot be translated. The result is cached either way. *)

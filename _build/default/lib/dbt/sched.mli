@@ -1,0 +1,26 @@
+(** List scheduler: place DFG nodes into VLIW bundles respecting every
+    dependency edge (with its latency) and the machine's resource
+    constraints. Priority is the critical-path distance to the end of the
+    trace. *)
+
+type resources = {
+  width : int;  (** issue slots per bundle *)
+  mem_slots : int;  (** memory operations per bundle *)
+  mul_slots : int;  (** multiplier/divider operations per bundle *)
+  branch_slots : int;  (** control operations per bundle *)
+}
+
+val default_resources : resources
+(** 4-wide, 1 memory port, 1 multiplier, 1 control slot — the Hybrid-DBT
+    VLIW configuration. *)
+
+type cls = Alu_class | Mem_class | Mul_class | Branch_class
+
+val classify : Gb_ir.Dfg.kind -> cls
+
+exception Cyclic
+(** The graph has a dependency cycle (an IR construction bug). *)
+
+val schedule : resources -> lat:Gb_ir.Latency.t -> Gb_ir.Dfg.t -> int array
+(** [schedule r ~lat g] returns the issue cycle of every node. For every
+    edge (u, v, l): [cycle.(v) >= cycle.(u) + l] (property-tested). *)

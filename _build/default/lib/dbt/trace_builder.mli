@@ -1,0 +1,30 @@
+(** Trace construction (the paper's block-construction optimization):
+    starting from a hot guest pc, follow the profiled direction of biased
+    branches — duplicating blocks when the path revisits them (loop
+    unrolling) — to build one linear guest trace for the scheduler.
+
+    The walk stops at: unbiased or unprofiled conditional branches,
+    indirect jumps, ecall, the instruction budget, or the per-pc revisit
+    limit. *)
+
+type config = {
+  max_insns : int;  (** instruction budget per trace *)
+  max_visits : int;  (** per-pc revisit limit (bounds loop unrolling) *)
+  bias_threshold : float;  (** minimum taken/not-taken bias to follow *)
+  min_samples : int;  (** profile samples needed to trust a bias *)
+}
+
+val default_config : config
+(** 96 instructions, 4 visits, 0.8 bias, 8 samples. *)
+
+exception Build_failure of string
+(** No usable trace at this pc (e.g. it starts with an unbiased branch). *)
+
+val build :
+  config ->
+  mem:Gb_riscv.Mem.t ->
+  profile:(int -> (int * int) option) ->
+  entry:int ->
+  Gb_ir.Gtrace.t
+(** [profile pc] returns [(taken, total)] execution counts of the
+    conditional branch at [pc], when profiled. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Gb_attack Gb_cache Gb_core Gb_dbt Gb_ir Gb_kernelc Gb_system Gb_workloads Int64 List Printf

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Gb_attack Gb_core Gb_kernelc Gb_system Gb_util Gb_workloads Int64 List Printf

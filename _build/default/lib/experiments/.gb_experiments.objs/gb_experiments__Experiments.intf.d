@@ -1,0 +1,1 @@
+lib/experiments/experiments.mli: Gb_attack Gb_core Gb_kernelc Gb_system Gb_util

@@ -1,0 +1,150 @@
+let default_secret = "GhostBusters"
+
+type mode_cycles = {
+  w_name : string;
+  unsafe : int64;
+  fine_grained : int64;
+  fence : int64;
+  no_spec : int64;
+  patterns : int;
+}
+
+let cycles_of mc = function
+  | Gb_core.Mitigation.Unsafe -> mc.unsafe
+  | Gb_core.Mitigation.Fine_grained -> mc.fine_grained
+  | Gb_core.Mitigation.Fence_on_detect -> mc.fence
+  | Gb_core.Mitigation.No_speculation -> mc.no_spec
+
+let slowdown mc ~mode = Int64.to_float (cycles_of mc mode) /. Int64.to_float mc.unsafe
+
+let run_workload mode program =
+  Gb_system.Processor.run_program
+    ~config:(Gb_system.Processor.config_for mode)
+    (Gb_kernelc.Compile.assemble program)
+
+let measure_program ~name program =
+  let run mode = run_workload mode program in
+  let unsafe_r = run Gb_core.Mitigation.Unsafe in
+  let fine_r = run Gb_core.Mitigation.Fine_grained in
+  let fence_r = run Gb_core.Mitigation.Fence_on_detect in
+  let nospec_r = run Gb_core.Mitigation.No_speculation in
+  let check (r : Gb_system.Processor.result) =
+    if r.Gb_system.Processor.exit_code <> unsafe_r.Gb_system.Processor.exit_code
+    then
+      failwith
+        (Printf.sprintf "workload %s: architectural mismatch between modes"
+           name)
+  in
+  check fine_r;
+  check fence_r;
+  check nospec_r;
+  {
+    w_name = name;
+    unsafe = unsafe_r.Gb_system.Processor.cycles;
+    fine_grained = fine_r.Gb_system.Processor.cycles;
+    fence = fence_r.Gb_system.Processor.cycles;
+    no_spec = nospec_r.Gb_system.Processor.cycles;
+    patterns = fine_r.Gb_system.Processor.patterns_found;
+  }
+
+type poc_row = {
+  variant : string;
+  mode : Gb_core.Mitigation.mode;
+  outcome : Gb_attack.Runner.outcome;
+}
+
+let attack_programs ~secret =
+  [
+    ("spectre-v1", Gb_attack.Spectre_v1.program ~secret ());
+    ("spectre-v4", Gb_attack.Spectre_v4.program ~secret ());
+  ]
+
+let e1_poc_matrix ?(secret = default_secret) () =
+  List.concat_map
+    (fun (variant, program) ->
+      List.map
+        (fun mode ->
+          { variant; mode; outcome = Gb_attack.Runner.run ~mode ~secret program })
+        Gb_core.Mitigation.all_modes)
+    (attack_programs ~secret)
+
+let e2_figure4 () =
+  let kernels =
+    List.map
+      (fun (w : Gb_workloads.Polybench.t) ->
+        measure_program ~name:w.Gb_workloads.Polybench.name
+          w.Gb_workloads.Polybench.program)
+      Gb_workloads.Polybench.all
+  in
+  let attacks =
+    List.map
+      (fun (name, program) -> measure_program ~name program)
+      (attack_programs ~secret:default_secret)
+  in
+  kernels @ attacks
+
+let e3_fence_rows rows =
+  List.map
+    (fun mc ->
+      (mc.w_name, slowdown mc ~mode:Gb_core.Mitigation.Fence_on_detect, mc.patterns))
+    rows
+
+let e4_matmul_ablation () =
+  let w = Gb_workloads.Polybench.matmul_ptr in
+  measure_program ~name:w.Gb_workloads.Polybench.name
+    w.Gb_workloads.Polybench.program
+
+let e5_hot_candidates = [ 7; 66; 71; 200 ]
+
+let e5_hit_miss () = Gb_attack.Timing.measure ~hot:e5_hot_candidates ()
+
+let e7_translation_channel ?(secret = "K") () =
+  List.map
+    (fun mode -> (mode, Gb_attack.Translation_channel.run ~mode ~secret ()))
+    Gb_core.Mitigation.all_modes
+
+let geomean_slowdown rows ~mode =
+  Gb_util.Stats.geomean (List.map (fun mc -> slowdown mc ~mode) rows)
+
+let mode_cycles_json mc =
+  Gb_util.Json.Obj
+    [
+      ("name", Gb_util.Json.String mc.w_name);
+      ("unsafe_cycles", Gb_util.Json.Int (Int64.to_int mc.unsafe));
+      ("fine_grained", Gb_util.Json.Float (slowdown mc ~mode:Gb_core.Mitigation.Fine_grained));
+      ("fence_on_detect", Gb_util.Json.Float (slowdown mc ~mode:Gb_core.Mitigation.Fence_on_detect));
+      ("no_speculation", Gb_util.Json.Float (slowdown mc ~mode:Gb_core.Mitigation.No_speculation));
+      ("patterns", Gb_util.Json.Int mc.patterns);
+    ]
+
+let figure4_json rows =
+  Gb_util.Json.Obj
+    [
+      ("experiment", Gb_util.Json.String "figure4");
+      ("rows", Gb_util.Json.List (List.map mode_cycles_json rows));
+      ( "geomean",
+        Gb_util.Json.Obj
+          [
+            ("fine_grained", Gb_util.Json.Float (geomean_slowdown rows ~mode:Gb_core.Mitigation.Fine_grained));
+            ("no_speculation", Gb_util.Json.Float (geomean_slowdown rows ~mode:Gb_core.Mitigation.No_speculation));
+          ] );
+    ]
+
+let poc_json rows =
+  Gb_util.Json.Obj
+    [
+      ("experiment", Gb_util.Json.String "poc_matrix");
+      ( "rows",
+        Gb_util.Json.List
+          (List.map
+             (fun r ->
+               Gb_util.Json.Obj
+                 [
+                   ("variant", Gb_util.Json.String r.variant);
+                   ("mode", Gb_util.Json.String (Gb_core.Mitigation.mode_name r.mode));
+                   ("recovered_bytes", Gb_util.Json.Int r.outcome.Gb_attack.Runner.correct_bytes);
+                   ("total_bytes", Gb_util.Json.Int r.outcome.Gb_attack.Runner.total_bytes);
+                   ("leaked", Gb_util.Json.Bool (Gb_attack.Runner.succeeded r.outcome));
+                 ])
+             rows) );
+    ]

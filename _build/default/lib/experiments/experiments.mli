@@ -1,0 +1,66 @@
+(** The paper's evaluation (Section V), experiment by experiment. Each
+    function returns structured data; the benchmark harness and the CLI
+    render it. The experiment ids follow DESIGN.md. *)
+
+val default_secret : string
+
+(** Cycle counts of one workload under every mitigation mode. *)
+type mode_cycles = {
+  w_name : string;
+  unsafe : int64;
+  fine_grained : int64;
+  fence : int64;
+  no_spec : int64;
+  patterns : int;  (** Spectre patterns detected under fine-grained *)
+}
+
+val slowdown : mode_cycles -> mode:Gb_core.Mitigation.mode -> float
+(** cycles(mode) / cycles(unsafe). *)
+
+val run_workload :
+  Gb_core.Mitigation.mode -> Gb_kernelc.Ast.program -> Gb_system.Processor.result
+
+val measure_program : name:string -> Gb_kernelc.Ast.program -> mode_cycles
+
+(** E1 — proof of concept: per variant and mode, how much of the secret
+    leaked. *)
+type poc_row = {
+  variant : string;
+  mode : Gb_core.Mitigation.mode;
+  outcome : Gb_attack.Runner.outcome;
+}
+
+val e1_poc_matrix : ?secret:string -> unit -> poc_row list
+
+val e2_figure4 : unit -> mode_cycles list
+(** One row per Figure-4 application: the 12 Polybench kernels plus the
+    two Spectre proof-of-concept programs. *)
+
+val e3_fence_rows : mode_cycles list -> (string * float * int) list
+(** Per workload: fence slowdown and pattern count (derived from E2 data). *)
+
+val e4_matmul_ablation : unit -> mode_cycles
+
+val e5_hot_candidates : int list
+
+val e5_hit_miss : unit -> int array
+(** Probe latencies of the timing harness's final flush+reload round
+    (bimodal: the re-touched candidates hit, everything else misses). *)
+
+val e7_translation_channel :
+  ?secret:string ->
+  unit ->
+  (Gb_core.Mitigation.mode * Gb_attack.Translation_channel.outcome) list
+(** E7 (extension; the paper's future-work concern made executable): the
+    translation-decision side channel, per mitigation mode. Every mode
+    leaks — the countermeasure targets speculative loads, not the
+    profile-guided translation decisions themselves. *)
+
+val geomean_slowdown :
+  mode_cycles list -> mode:Gb_core.Mitigation.mode -> float
+
+val figure4_json : mode_cycles list -> Gb_util.Json.t
+(** Machine-readable E2 results (for external plotting). *)
+
+val poc_json : poc_row list -> Gb_util.Json.t
+(** Machine-readable E1 results. *)

@@ -1,0 +1,1 @@
+lib/ir/build.ml: Array Dfg Gb_riscv Gtrace Hashtbl Int64 Latency List Opt_config Option

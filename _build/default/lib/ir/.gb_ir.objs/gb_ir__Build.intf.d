@@ -1,0 +1,1 @@
+lib/ir/build.mli: Dfg Gb_riscv Gtrace Latency Opt_config

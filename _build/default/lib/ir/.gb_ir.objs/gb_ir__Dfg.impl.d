@@ -1,0 +1,1 @@
+lib/ir/dfg.ml: Array Format Gb_riscv List

@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Dfg Format Gb_riscv List Printf

@@ -1,0 +1,1 @@
+lib/ir/gtrace.ml: Format Gb_riscv List

@@ -1,0 +1,1 @@
+lib/ir/gtrace.mli: Format Gb_riscv

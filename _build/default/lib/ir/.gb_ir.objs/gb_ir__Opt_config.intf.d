@@ -1,0 +1,1 @@
+lib/ir/opt_config.mli:

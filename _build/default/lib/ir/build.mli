@@ -1,0 +1,39 @@
+(** IR construction: lower a guest trace to a {!Dfg.t} under a given
+    speculation configuration.
+
+    The builder performs the optimizer's dependency-removal decisions:
+
+    - with [branch_spec], loads (and with [alu_spec], ALU operations) get
+      no control edge from preceding side exits — they may be hoisted;
+      the removed dependency is recorded in the load's {!Dfg.spec_info};
+    - with [mem_spec], a load following a store drops its memory RAW edge,
+      is given an MCB tag (while the [mcb_tags] budget lasts), and a [chk]
+      node is inserted at the load's original position whose rollback
+      target is the load's guest pc;
+    - stores, [rdcycle], [cflush] and [fence] are always pinned: they
+      execute in original program order relative to side exits, and act as
+      non-speculable memory-chain barriers (except plain stores, which may
+      be speculated past under MCB protection).
+
+    Architectural writes never happen in the trace body: every exit-like
+    node carries the commit map of guest registers redefined up to its
+    program point. *)
+
+exception Unsupported of string
+(** Raised on instructions that cannot appear inside a trace
+    (ecall, jalr) — the trace constructor must stop before them. *)
+
+val build : opt:Opt_config.t -> lat:Latency.t -> Gtrace.t -> Dfg.t
+
+val latency_of : Latency.t -> Dfg.kind -> int
+(** Producer latency of a node kind (exposed for the scheduler). *)
+
+val oprr_of_opri : Gb_riscv.Insn.opri -> Gb_riscv.Insn.oprr
+(** Register-register semantics of an immediate-form opcode (the immediate
+    becomes an [Imm] operand). Shared with the first-level translator. *)
+
+val is_mul_like : Gb_riscv.Insn.oprr -> bool
+(** Operations executed on the multiplier unit. *)
+
+val is_div_like : Gb_riscv.Insn.oprr -> bool
+(** Operations executed on the divider (long latency). *)

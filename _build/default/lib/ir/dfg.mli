@@ -1,0 +1,100 @@
+(** The data-flow graph over one trace — the IR the DBT scheduler works on
+    and the representation on which the GhostBusters poisoning analysis
+    runs.
+
+    Nodes are micro-operations in original program order (ids are
+    monotonically increasing along the trace; data sources always point to
+    smaller ids). Edges carry a minimum cycle distance and a kind:
+    - [Edata]: value dependency, latency of the producer;
+    - [Emem]: memory ordering (store-load / load-store / store-store);
+    - [Ectrl]: control ordering (visibility at side exits, pinning).
+
+    Register semantics: nothing in the trace body writes a guest register;
+    every def goes to an SSA temporary, and each exit-like node carries a
+    [commit_map] describing which guest registers must be written (from
+    which temporaries) when that exit is taken. *)
+
+type value = Reg_in of int | Node of int | Imm of int64
+
+(** Per-load speculation record. [spec_prev_store]/[spec_prev_branch] hold
+    the node whose ordering dependency was removed by the optimizer
+    (making the load speculative); the mitigation re-adds these edges and
+    sets [constrained]. [tag] is the MCB entry, present iff the load
+    actually runs with MCB protection. *)
+type spec_info = {
+  mutable tag : int option;
+  mutable spec_prev_store : int option;
+  mutable spec_prev_branch : int option;
+  mutable constrained : bool;
+}
+
+type kind =
+  | Kalu of Gb_riscv.Insn.oprr
+  | Kload of Gb_riscv.Insn.width * bool * spec_info  (** width, unsigned *)
+  | Kstore of Gb_riscv.Insn.width
+  | Kbranch of Gb_riscv.Insn.branch_cond  (** side exit when cond holds *)
+  | Kchk of int  (** MCB check guarding the load with the given node id *)
+  | Kexit  (** unconditional trace end *)
+  | Krdcycle
+  | Kcflush
+  | Kfence  (** scheduling barrier (guest fence or mitigation fence) *)
+
+type node = {
+  id : int;
+  kind : kind;
+  srcs : value array;
+  off : int;  (** address offset for loads/stores/cflush *)
+  guest_pc : int;
+  dest : int option;  (** guest register this instruction defines *)
+  commit_map : (int * value) list;  (** exit-like nodes only *)
+  exit_pc : int;  (** exit-like nodes only *)
+}
+
+type edge_kind = Edata | Emem | Ectrl
+
+type edge = { e_from : int; e_to : int; e_lat : int; e_kind : edge_kind }
+
+type t
+
+val create : unit -> t
+
+val add_node :
+  t ->
+  kind:kind ->
+  srcs:value array ->
+  ?off:int ->
+  ?dest:int option ->
+  ?commit_map:(int * value) list ->
+  ?exit_pc:int ->
+  guest_pc:int ->
+  unit ->
+  int
+(** Append a node; returns its id. *)
+
+val add_edge : t -> from:int -> to_:int -> lat:int -> kind:edge_kind -> unit
+
+val node : t -> int -> node
+
+val n_nodes : t -> int
+
+val nodes : t -> node array
+(** Snapshot of all nodes in id order. *)
+
+val edges : t -> edge list
+
+val iter_nodes : t -> (node -> unit) -> unit
+
+val is_exit_like : kind -> bool
+(** Branch, chk or exit: a potential departure from the trace. *)
+
+val is_load : kind -> bool
+
+val spec_of : node -> spec_info option
+(** The speculation record of a load node. *)
+
+val is_speculative : node -> bool
+(** A load whose ordering dependency on a preceding branch or store has
+    been removed and that has not been constrained by the mitigation —
+    the paper's definition of a speculative instruction. *)
+
+val pp : Format.formatter -> t -> unit

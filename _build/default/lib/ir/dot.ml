@@ -1,0 +1,69 @@
+let node_label (n : Dfg.node) =
+  let base =
+    match n.Dfg.kind with
+    | Dfg.Kalu op -> (
+      match op with
+      | Gb_riscv.Insn.ADD -> "add"
+      | Gb_riscv.Insn.SUB -> "sub"
+      | Gb_riscv.Insn.MUL -> "mul"
+      | Gb_riscv.Insn.SLL -> "shl"
+      | Gb_riscv.Insn.SRL | Gb_riscv.Insn.SRA -> "shr"
+      | Gb_riscv.Insn.AND | Gb_riscv.Insn.OR | Gb_riscv.Insn.XOR -> "bit"
+      | Gb_riscv.Insn.SLT | Gb_riscv.Insn.SLTU -> "cmp"
+      | _ -> "alu")
+    | Dfg.Kload (_, _, spec) ->
+      if spec.Dfg.tag <> None then "ld.spec" else "ld"
+    | Dfg.Kstore _ -> "st"
+    | Dfg.Kbranch _ -> "exit?"
+    | Dfg.Kchk _ -> "chk"
+    | Dfg.Kexit -> "exit"
+    | Dfg.Krdcycle -> "rdcycle"
+    | Dfg.Kcflush -> "cflush"
+    | Dfg.Kfence -> "fence"
+  in
+  Printf.sprintf "n%d: %s\\n@%x" n.Dfg.id base n.Dfg.guest_pc
+
+let pp ?(poisoned = [||]) ?(patterns = []) ppf g =
+  let is_poisoned id = id < Array.length poisoned && poisoned.(id) in
+  let is_pattern id = List.mem id patterns in
+  Format.fprintf ppf "digraph dfg {@.";
+  Format.fprintf ppf "  rankdir=TB; node [shape=box, fontname=\"monospace\"];@.";
+  Dfg.iter_nodes g (fun n ->
+      let id = n.Dfg.id in
+      let attrs =
+        if is_pattern id then
+          " style=filled fillcolor=\"#ff9999\" color=red penwidth=2"
+        else if is_poisoned id then " style=filled fillcolor=\"#cce0ff\""
+        else if Dfg.is_speculative n then " style=filled fillcolor=\"#fff2b3\""
+        else ""
+      in
+      Format.fprintf ppf "  n%d [label=\"%s\"%s];@." id (node_label n) attrs);
+  (* data edges (from node sources) *)
+  Dfg.iter_nodes g (fun n ->
+      Array.iter
+        (fun v ->
+          match v with
+          | Dfg.Node src ->
+            let poisoned_edge = is_poisoned src in
+            Format.fprintf ppf "  n%d -> n%d%s;@." src n.Dfg.id
+              (if poisoned_edge then
+                 " [color=blue penwidth=2]"
+               else "")
+          | Dfg.Reg_in _ | Dfg.Imm _ -> ())
+        n.Dfg.srcs);
+  (* memory and control order edges *)
+  List.iter
+    (fun e ->
+      match e.Dfg.e_kind with
+      | Dfg.Edata -> ()
+      | Dfg.Emem ->
+        Format.fprintf ppf "  n%d -> n%d [style=dashed color=gray40];@."
+          e.Dfg.e_from e.Dfg.e_to
+      | Dfg.Ectrl ->
+        Format.fprintf ppf "  n%d -> n%d [style=dotted color=gray60];@."
+          e.Dfg.e_from e.Dfg.e_to)
+    (Dfg.edges g);
+  Format.fprintf ppf "}@."
+
+let to_string ?poisoned ?patterns g =
+  Format.asprintf "%a" (fun ppf -> pp ?poisoned ?patterns ppf) g

@@ -1,0 +1,14 @@
+(** Graphviz export of the trace data-flow graph — the renderable version
+    of the paper's Figure 3. Data edges are solid, memory-order edges
+    dashed, control edges dotted; when poisoning results are supplied,
+    poisoned producers are highlighted and detected Spectre patterns are
+    drawn in red. *)
+
+val pp :
+  ?poisoned:bool array ->
+  ?patterns:int list ->
+  Format.formatter ->
+  Dfg.t ->
+  unit
+
+val to_string : ?poisoned:bool array -> ?patterns:int list -> Dfg.t -> string

@@ -1,0 +1,3 @@
+type t = { alu : int; mul : int; div : int; load : int; rdcycle : int }
+
+let default = { alu = 1; mul = 3; div = 12; load = 2; rdcycle = 1 }

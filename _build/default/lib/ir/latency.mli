@@ -1,0 +1,14 @@
+(** Exposed operation latencies of the VLIW core, used by the instruction
+    scheduler (the hardware has no interlocks for register dependencies;
+    the schedule must respect these). *)
+
+type t = {
+  alu : int;
+  mul : int;
+  div : int;
+  load : int;  (** load-to-use on a cache hit; misses stall the pipeline *)
+  rdcycle : int;
+}
+
+val default : t
+(** alu 1, mul 3, div 12, load 2, rdcycle 1. *)

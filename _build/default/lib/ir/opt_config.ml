@@ -1,0 +1,19 @@
+type t = {
+  branch_spec : bool;
+  alu_spec : bool;
+  mem_spec : bool;
+  mcb_tags : int;
+  cse : bool;
+}
+
+let aggressive =
+  { branch_spec = true; alu_spec = true; mem_spec = true; mcb_tags = 8;
+    cse = true }
+
+(* "No speculation" disables the two observable speculations — loads above
+   branches and loads above stores. ALU operations still float: they only
+   write hidden registers and have no micro-architectural side effects, so
+   they are not speculation in the Spectre sense. *)
+let no_speculation =
+  { branch_spec = false; alu_spec = true; mem_spec = false; mcb_tags = 0;
+    cse = true }

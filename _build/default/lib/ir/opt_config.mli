@@ -1,0 +1,27 @@
+(** Speculation switches of the DBT optimizer.
+
+    [branch_spec] allows loads to be hoisted above conditional side exits
+    (trace speculation, the Spectre v1 vector); [mem_spec] allows loads to
+    be hoisted above stores under MCB protection (memory-dependency
+    speculation, the Spectre v4 vector); [alu_spec] allows pure ALU
+    operations to float above side exits (harmless — they only write
+    hidden registers — but turned off together with everything else in the
+    paper's "no speculation" configuration). *)
+
+type t = {
+  branch_spec : bool;
+  alu_spec : bool;
+  mem_spec : bool;
+  mcb_tags : int;  (** MCB size: maximum speculative loads per trace *)
+  cse : bool;
+      (** constant folding + local value numbering on pure operations —
+          not a speculation (pure values are branch-independent), just the
+          classic cleanup every DBT optimizer performs *)
+}
+
+val aggressive : t
+(** Everything on, 8 MCB tags — the paper's unsafe baseline. *)
+
+val no_speculation : t
+(** Load speculation off — the paper's naive countermeasure. CSE and ALU
+    hoisting stay on: they have no micro-architectural side effects. *)

@@ -1,0 +1,1 @@
+lib/kernelc/compile.ml: Ast Gb_riscv Hashtbl Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/kernelc/compile.mli: Ast Gb_riscv

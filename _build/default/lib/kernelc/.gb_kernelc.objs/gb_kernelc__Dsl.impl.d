@@ -1,0 +1,1 @@
+lib/kernelc/dsl.ml: Ast Int64

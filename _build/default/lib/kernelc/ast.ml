@@ -1,0 +1,50 @@
+type ty = I8 | I32 | I64
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Eq
+  | Ne
+
+type expr =
+  | Const of int64
+  | Var of string
+  | Arr of string * expr list
+  | Addr_of of string * expr list
+  | Mem of ty * expr
+  | Bin of binop * expr * expr
+  | Cycle
+
+type stmt =
+  | Let of string * expr
+  | Set of string * expr
+  | Arr_store of string * expr list * expr
+  | Mem_store of ty * expr * expr
+  | For of string * expr * expr * stmt list
+  | If of expr * stmt list * stmt list
+  | Flush of expr
+  | Fence_stmt
+  | Emit_byte of expr
+
+type array_decl = {
+  a_name : string;
+  a_ty : ty;
+  a_dims : int list;
+  a_init : init;
+}
+
+and init = Zero | Bytes of string | Words of int64 list
+
+type program = { arrays : array_decl list; body : stmt list; result : expr }
+
+let ty_size = function I8 -> 1 | I32 -> 4 | I64 -> 8

@@ -1,0 +1,61 @@
+(** Abstract syntax of the kernel language: a minimal structured language
+    (scalars, multi-dimensional arrays, counted loops, conditionals and raw
+    memory access) that compiles to rv64im. It is the stand-in for the C
+    compiler the paper's guest binaries come from — Polybench kernels and
+    the Spectre proof-of-concept attacks are both written in it. *)
+
+type ty = I8 | I32 | I64
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Lt  (** signed; produces 0/1 *)
+  | Le
+  | Eq
+  | Ne
+
+type expr =
+  | Const of int64
+  | Var of string
+  | Arr of string * expr list  (** typed element read, row-major *)
+  | Addr_of of string * expr list  (** address of an element (or base) *)
+  | Mem of ty * expr  (** raw typed load from a byte address *)
+  | Bin of binop * expr * expr
+  | Cycle  (** read the cycle counter *)
+
+type stmt =
+  | Let of string * expr  (** declare + initialise a scalar (in a register) *)
+  | Set of string * expr
+  | Arr_store of string * expr list * expr
+  | Mem_store of ty * expr * expr  (** address, value *)
+  | For of string * expr * expr * stmt list
+      (** [For (v, lo, hi, body)]: v from lo while v < hi *)
+  | If of expr * stmt list * stmt list  (** nonzero = true *)
+  | Flush of expr  (** cflush the line containing a byte address *)
+  | Fence_stmt
+  | Emit_byte of expr  (** write one byte to the output stream *)
+
+type array_decl = {
+  a_name : string;
+  a_ty : ty;
+  a_dims : int list;  (** row-major dimensions *)
+  a_init : init;
+}
+
+and init = Zero | Bytes of string | Words of int64 list
+
+type program = {
+  arrays : array_decl list;
+  body : stmt list;
+  result : expr;  (** exit code (low 8 bits) *)
+}
+
+val ty_size : ty -> int

@@ -1,0 +1,284 @@
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let temp_pool =
+  Gb_riscv.Reg.[ t0; t1; t2; t3; t4; t5; t6 ]
+
+let scalar_pool =
+  Gb_riscv.Reg.[ s1; s2; s3; s4; s5; s6; s7; s8; s9; s10; s11; a1; a2; a3; a4; a5; ra ]
+
+let is_temp r = List.mem r temp_pool
+
+type env = {
+  arrays : (string, Ast.array_decl) Hashtbl.t;
+  mutable scalars : (string * Gb_riscv.Reg.t) list;
+  mutable free_scalars : Gb_riscv.Reg.t list;
+  mutable items : Gb_riscv.Asm.item list;  (** reversed *)
+  mutable label_count : int;
+}
+
+let emit env item = env.items <- item :: env.items
+
+let emit_insn env insn = emit env (Gb_riscv.Asm.Insn insn)
+
+let fresh_label env prefix =
+  env.label_count <- env.label_count + 1;
+  Printf.sprintf "%s_%d" prefix env.label_count
+
+let lookup_scalar env v =
+  match List.assoc_opt v env.scalars with
+  | Some r -> r
+  | None -> error "undefined scalar %s" v
+
+let declare_scalar env v =
+  if List.mem_assoc v env.scalars then error "scalar %s redeclared" v;
+  match env.free_scalars with
+  | [] -> error "out of scalar registers declaring %s" v
+  | r :: rest ->
+    env.free_scalars <- rest;
+    env.scalars <- (v, r) :: env.scalars;
+    r
+
+let take free =
+  match free with
+  | [] -> raise (Error "expression too deep: out of temporaries")
+  | t :: rest -> (t, rest)
+
+let array_decl env name =
+  match Hashtbl.find_opt env.arrays name with
+  | Some d -> d
+  | None -> error "unknown array %s" name
+
+let mv env dst src =
+  if dst <> src then emit_insn env (Gb_riscv.Insn.Op_imm (Gb_riscv.Insn.ADDI, dst, src, 0))
+
+let load_of_ty ty rd base =
+  match ty with
+  | Ast.I8 -> Gb_riscv.Insn.Load (Gb_riscv.Insn.B, true, rd, base, 0)
+  | Ast.I32 -> Gb_riscv.Insn.Load (Gb_riscv.Insn.W, false, rd, base, 0)
+  | Ast.I64 -> Gb_riscv.Insn.Load (Gb_riscv.Insn.D, false, rd, base, 0)
+
+let store_of_ty ty rs base =
+  match ty with
+  | Ast.I8 -> Gb_riscv.Insn.Store (Gb_riscv.Insn.B, rs, base, 0)
+  | Ast.I32 -> Gb_riscv.Insn.Store (Gb_riscv.Insn.W, rs, base, 0)
+  | Ast.I64 -> Gb_riscv.Insn.Store (Gb_riscv.Insn.D, rs, base, 0)
+
+let shift_of_ty = function Ast.I8 -> 0 | Ast.I32 -> 2 | Ast.I64 -> 3
+
+let emit_bin env op dst a b =
+  let open Gb_riscv.Insn in
+  match op with
+  | Ast.Add -> emit_insn env (Op (ADD, dst, a, b))
+  | Ast.Sub -> emit_insn env (Op (SUB, dst, a, b))
+  | Ast.Mul -> emit_insn env (Op (MUL, dst, a, b))
+  | Ast.Div -> emit_insn env (Op (DIV, dst, a, b))
+  | Ast.Rem -> emit_insn env (Op (REM, dst, a, b))
+  | Ast.And -> emit_insn env (Op (AND, dst, a, b))
+  | Ast.Or -> emit_insn env (Op (OR, dst, a, b))
+  | Ast.Xor -> emit_insn env (Op (XOR, dst, a, b))
+  | Ast.Shl -> emit_insn env (Op (SLL, dst, a, b))
+  | Ast.Shr -> emit_insn env (Op (SRL, dst, a, b))
+  | Ast.Lt -> emit_insn env (Op (SLT, dst, a, b))
+  | Ast.Le ->
+    emit_insn env (Op (SLT, dst, b, a));
+    emit_insn env (Op_imm (XORI, dst, dst, 1))
+  | Ast.Eq ->
+    emit_insn env (Op (SUB, dst, a, b));
+    emit_insn env (Op_imm (SLTIU, dst, dst, 1))
+  | Ast.Ne ->
+    emit_insn env (Op (SUB, dst, a, b));
+    emit_insn env (Op (SLTU, dst, 0, dst))
+
+(* Evaluate an expression. Returns the register holding the result and the
+   remaining free temporaries; scalar registers are returned as-is (read
+   only), everything else lands in a temporary taken from [free]. *)
+let rec eval env free e =
+  match e with
+  | Ast.Var v -> (lookup_scalar env v, free)
+  | Ast.Const c ->
+    let t, free = take free in
+    emit env (Gb_riscv.Asm.Li (t, c));
+    (t, free)
+  | Ast.Cycle ->
+    let t, free = take free in
+    emit_insn env (Gb_riscv.Insn.Rdcycle t);
+    (t, free)
+  | Ast.Bin (op, a, b) ->
+    let ra_, f1 = eval env free a in
+    let rb, f2 = eval env f1 b in
+    let dst, f_out =
+      if is_temp ra_ then (ra_, if is_temp rb then rb :: f2 else f2)
+      else if is_temp rb then (rb, f2)
+      else take f2
+    in
+    emit_bin env op dst ra_ rb;
+    (dst, f_out)
+  | Ast.Arr (name, idxs) ->
+    let decl = array_decl env name in
+    let addr, f = eval_addr env free name idxs in
+    emit_insn env (load_of_ty decl.Ast.a_ty addr addr);
+    (addr, f)
+  | Ast.Addr_of (name, idxs) -> eval_addr env free name idxs
+  | Ast.Mem (ty, e) ->
+    let addr, f = eval env free e in
+    if is_temp addr then begin
+      emit_insn env (load_of_ty ty addr addr);
+      (addr, f)
+    end
+    else begin
+      let t, f = take f in
+      emit_insn env (load_of_ty ty t addr);
+      (t, f)
+    end
+
+(* Address of an array element: row-major offset scaled by element size. *)
+and eval_addr env free name idxs =
+  let decl = array_decl env name in
+  let dims = decl.Ast.a_dims in
+  if idxs <> [] && List.length idxs <> List.length dims then
+    error "array %s: expected %d indices" name (List.length dims);
+  let base, f = take free in
+  emit env (Gb_riscv.Asm.La (base, name));
+  match idxs with
+  | [] -> (base, f)
+  | first :: rest ->
+    let acc, f = eval env f first in
+    (* keep the running index in a dedicated temp so we may scale it *)
+    let acc, f =
+      if is_temp acc then (acc, f)
+      else
+        let t, f = take f in
+        mv env t acc;
+        (t, f)
+    in
+    let rest_dims = List.tl dims in
+    List.iter2
+      (fun dim idx ->
+        let dim_r, f' = take f in
+        emit env (Gb_riscv.Asm.Li (dim_r, Int64.of_int dim));
+        emit_insn env (Gb_riscv.Insn.Op (Gb_riscv.Insn.MUL, acc, acc, dim_r));
+        let idx_r, _ = eval env f' idx in
+        emit_insn env (Gb_riscv.Insn.Op (Gb_riscv.Insn.ADD, acc, acc, idx_r)))
+      rest_dims rest;
+    let sh = shift_of_ty decl.Ast.a_ty in
+    if sh > 0 then
+      emit_insn env (Gb_riscv.Insn.Op_imm (Gb_riscv.Insn.SLLI, acc, acc, sh));
+    emit_insn env (Gb_riscv.Insn.Op (Gb_riscv.Insn.ADD, base, base, acc));
+    (base, f)
+
+let rec compile_stmt env stmt =
+  match stmt with
+  | Ast.Let (v, e) ->
+    let r, _ = eval env temp_pool e in
+    let dst = declare_scalar env v in
+    mv env dst r
+  | Ast.Set (v, e) ->
+    let dst = lookup_scalar env v in
+    let r, _ = eval env temp_pool e in
+    mv env dst r
+  | Ast.Arr_store (name, idxs, value) ->
+    let decl = array_decl env name in
+    let rv, f = eval env temp_pool value in
+    let addr, _ = eval_addr env f name idxs in
+    emit_insn env (store_of_ty decl.Ast.a_ty rv addr)
+  | Ast.Mem_store (ty, addr_e, value) ->
+    let rv, f = eval env temp_pool value in
+    let addr, _ = eval env f addr_e in
+    emit_insn env (store_of_ty ty rv addr)
+  | Ast.Flush e ->
+    let r, _ = eval env temp_pool e in
+    emit_insn env (Gb_riscv.Insn.Cflush r)
+  | Ast.Fence_stmt -> emit_insn env Gb_riscv.Insn.Fence
+  | Ast.Emit_byte e ->
+    let r, _ = eval env temp_pool e in
+    mv env Gb_riscv.Reg.a0 r;
+    emit env (Gb_riscv.Asm.Li (Gb_riscv.Reg.a7, 64L));
+    emit_insn env Gb_riscv.Insn.Ecall
+  | Ast.If (cond, thn, els) ->
+    let else_l = fresh_label env "else" in
+    let end_l = fresh_label env "endif" in
+    let c, _ = eval env temp_pool cond in
+    emit env (Gb_riscv.Asm.Branch_to (Gb_riscv.Insn.BEQ, c, Gb_riscv.Reg.zero, else_l));
+    compile_block env thn;
+    emit env (Gb_riscv.Asm.Jal_to (Gb_riscv.Reg.zero, end_l));
+    emit env (Gb_riscv.Asm.Label else_l);
+    compile_block env els;
+    emit env (Gb_riscv.Asm.Label end_l)
+  | Ast.For (v, lo, hi, body) ->
+    let declared_v = not (List.mem_assoc v env.scalars) in
+    let vr = if declared_v then declare_scalar env v else lookup_scalar env v in
+    let hi_name = fresh_label env "$hi" in
+    let hi_r = declare_scalar env hi_name in
+    let r_lo, _ = eval env temp_pool lo in
+    mv env vr r_lo;
+    let r_hi, _ = eval env temp_pool hi in
+    mv env hi_r r_hi;
+    let body_l = fresh_label env "body" in
+    let test_l = fresh_label env "test" in
+    emit env (Gb_riscv.Asm.Jal_to (Gb_riscv.Reg.zero, test_l));
+    emit env (Gb_riscv.Asm.Label body_l);
+    compile_block env body;
+    emit_insn env (Gb_riscv.Insn.Op_imm (Gb_riscv.Insn.ADDI, vr, vr, 1));
+    emit env (Gb_riscv.Asm.Label test_l);
+    emit env (Gb_riscv.Asm.Branch_to (Gb_riscv.Insn.BLT, vr, hi_r, body_l));
+    (* release the bound register and (if we declared it) the loop variable *)
+    env.scalars <- List.remove_assoc hi_name env.scalars;
+    env.free_scalars <- hi_r :: env.free_scalars;
+    if declared_v then begin
+      env.scalars <- List.remove_assoc v env.scalars;
+      env.free_scalars <- vr :: env.free_scalars
+    end
+
+and compile_block env stmts =
+  let saved_scalars = env.scalars in
+  let saved_free = env.free_scalars in
+  List.iter (compile_stmt env) stmts;
+  env.scalars <- saved_scalars;
+  env.free_scalars <- saved_free
+
+let array_items (d : Ast.array_decl) =
+  let total = List.fold_left ( * ) 1 d.Ast.a_dims * Ast.ty_size d.Ast.a_ty in
+  let init_items =
+    match d.Ast.a_init with
+    | Ast.Zero -> [ Gb_riscv.Asm.Space total ]
+    | Ast.Bytes s ->
+      if String.length s > total then
+        error "array %s: initializer too large" d.Ast.a_name;
+      [ Gb_riscv.Asm.Dstring s;
+        Gb_riscv.Asm.Space (total - String.length s) ]
+    | Ast.Words ws ->
+      if 8 * List.length ws > total then
+        error "array %s: initializer too large" d.Ast.a_name;
+      [ Gb_riscv.Asm.Dword ws;
+        Gb_riscv.Asm.Space (total - (8 * List.length ws)) ]
+  in
+  Gb_riscv.Asm.Align 8 :: Gb_riscv.Asm.Label d.Ast.a_name :: init_items
+
+let compile (program : Ast.program) =
+  let env =
+    {
+      arrays = Hashtbl.create 16;
+      scalars = [];
+      free_scalars = scalar_pool;
+      items = [];
+      label_count = 0;
+    }
+  in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem env.arrays d.Ast.a_name then
+        error "array %s redeclared" d.Ast.a_name;
+      Hashtbl.add env.arrays d.Ast.a_name d)
+    program.Ast.arrays;
+  List.iter (compile_stmt env) program.Ast.body;
+  let r, _ = eval env temp_pool program.Ast.result in
+  mv env Gb_riscv.Reg.a0 r;
+  emit env (Gb_riscv.Asm.Li (Gb_riscv.Reg.a7, 93L));
+  emit_insn env Gb_riscv.Insn.Ecall;
+  let code = List.rev env.items in
+  let data = List.concat_map array_items program.Ast.arrays in
+  code @ data
+
+let assemble ?base program = Gb_riscv.Asm.assemble ?base (compile program)

@@ -1,0 +1,17 @@
+(** Compilation of kernel programs to guest assembly.
+
+    Scalars live in registers for their whole lifetime (like compiled
+    Polybench code, where induction variables never touch memory — this is
+    what keeps addresses "clean" in the poisoning sense unless the program
+    really does double indirection). Expressions evaluate on a small
+    register stack; arrays are laid out row-major in the data section. *)
+
+exception Error of string
+(** Out of scalar registers / expression too deep / unknown identifiers. *)
+
+val compile : Ast.program -> Gb_riscv.Asm.item list
+(** The returned items end with the exit ecall; arrays are placed after the
+    code, each preceded by a label carrying its name. *)
+
+val assemble : ?base:int -> Ast.program -> Gb_riscv.Asm.program
+(** [compile] + {!Gb_riscv.Asm.assemble}. *)

@@ -1,0 +1,43 @@
+let c i = Ast.Const (Int64.of_int i)
+
+let v name = Ast.Var name
+
+let ( +: ) a b = Ast.Bin (Ast.Add, a, b)
+
+let ( -: ) a b = Ast.Bin (Ast.Sub, a, b)
+
+let ( *: ) a b = Ast.Bin (Ast.Mul, a, b)
+
+let ( /: ) a b = Ast.Bin (Ast.Div, a, b)
+
+let ( %: ) a b = Ast.Bin (Ast.Rem, a, b)
+
+let ( &: ) a b = Ast.Bin (Ast.And, a, b)
+
+let ( ^: ) a b = Ast.Bin (Ast.Xor, a, b)
+
+let ( <<: ) a b = Ast.Bin (Ast.Shl, a, b)
+
+let ( >>: ) a b = Ast.Bin (Ast.Shr, a, b)
+
+let ( <: ) a b = Ast.Bin (Ast.Lt, a, b)
+
+let ( =: ) a b = Ast.Bin (Ast.Eq, a, b)
+
+let arr name idxs = Ast.Arr (name, idxs)
+
+let ( <-: ) (name, idxs) value = Ast.Arr_store (name, idxs, value)
+
+let set name e = Ast.Set (name, e)
+
+let let_ name e = Ast.Let (name, e)
+
+let for_ var lo hi body = Ast.For (var, lo, hi, body)
+
+let if_ cond thn els = Ast.If (cond, thn, els)
+
+let array name ty dims =
+  { Ast.a_name = name; a_ty = ty; a_dims = dims; a_init = Ast.Zero }
+
+let array_init name ty dims init =
+  { Ast.a_name = name; a_ty = ty; a_dims = dims; a_init = init }

@@ -1,0 +1,47 @@
+(** Expression/statement sugar for writing kernels in OCaml. *)
+
+val c : int -> Ast.expr
+(** Integer constant. *)
+
+val v : string -> Ast.expr
+(** Scalar variable. *)
+
+val ( +: ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val ( -: ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val ( *: ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val ( /: ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val ( %: ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val ( &: ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val ( ^: ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val ( <<: ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val ( >>: ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val ( <: ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val ( =: ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val arr : string -> Ast.expr list -> Ast.expr
+
+val ( <-: ) : string * Ast.expr list -> Ast.expr -> Ast.stmt
+(** [(name, idxs) <-: value] is an array store. *)
+
+val set : string -> Ast.expr -> Ast.stmt
+
+val let_ : string -> Ast.expr -> Ast.stmt
+
+val for_ : string -> Ast.expr -> Ast.expr -> Ast.stmt list -> Ast.stmt
+
+val if_ : Ast.expr -> Ast.stmt list -> Ast.stmt list -> Ast.stmt
+
+val array : string -> Ast.ty -> int list -> Ast.array_decl
+(** Zero-initialised array. *)
+
+val array_init : string -> Ast.ty -> int list -> Ast.init -> Ast.array_decl

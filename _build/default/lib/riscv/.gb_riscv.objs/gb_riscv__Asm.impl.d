@@ -1,0 +1,1 @@
+lib/riscv/asm.ml: Buffer Char Encode Hashtbl Insn Int32 Int64 List Mem Printf Reg String Sys

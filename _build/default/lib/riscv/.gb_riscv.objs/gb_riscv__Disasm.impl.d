@@ -1,0 +1,1 @@
+lib/riscv/disasm.ml: Asm Bytes Decode Format Hashtbl Insn List Mem Option Printf

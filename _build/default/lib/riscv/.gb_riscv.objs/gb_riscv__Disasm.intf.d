@@ -1,0 +1,1 @@
+lib/riscv/disasm.mli: Asm Format Hashtbl Mem

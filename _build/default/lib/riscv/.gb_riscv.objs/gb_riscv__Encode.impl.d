@@ -1,0 +1,1 @@
+lib/riscv/encode.ml: Insn Printf

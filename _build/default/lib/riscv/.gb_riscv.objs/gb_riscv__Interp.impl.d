@@ -1,0 +1,1 @@
+lib/riscv/interp.ml: Array Buffer Char Decode Insn Int64 Mem Printf Reg

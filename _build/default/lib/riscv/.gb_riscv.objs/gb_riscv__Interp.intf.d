@@ -1,0 +1,1 @@
+lib/riscv/interp.mli: Buffer Insn Mem

@@ -1,0 +1,1 @@
+lib/riscv/mem.ml: Bytes Char Int32 Int64

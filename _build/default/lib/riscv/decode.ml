@@ -1,0 +1,167 @@
+exception Illegal of int
+
+let sign_extend bits v =
+  let shift = Sys.int_size - bits in
+  (v lsl shift) asr shift
+
+let illegal word = raise (Illegal word)
+
+let decode_op_imm ~word_variant w =
+  let rd = (w lsr 7) land 0x1f in
+  let rs1 = (w lsr 15) land 0x1f in
+  let funct3 = (w lsr 12) land 0x7 in
+  let imm = sign_extend 12 (w lsr 20) in
+  let shamt_bits = if word_variant then 5 else 6 in
+  let shamt = (w lsr 20) land ((1 lsl shamt_bits) - 1) in
+  let funct6 = (w lsr 26) land 0x3f in
+  let open Insn in
+  let op =
+    match (funct3, word_variant) with
+    | 0b000, false -> Op_imm (ADDI, rd, rs1, imm)
+    | 0b010, false -> Op_imm (SLTI, rd, rs1, imm)
+    | 0b011, false -> Op_imm (SLTIU, rd, rs1, imm)
+    | 0b100, false -> Op_imm (XORI, rd, rs1, imm)
+    | 0b110, false -> Op_imm (ORI, rd, rs1, imm)
+    | 0b111, false -> Op_imm (ANDI, rd, rs1, imm)
+    | 0b001, false when funct6 = 0x00 -> Op_imm (SLLI, rd, rs1, shamt)
+    | 0b101, false when funct6 = 0x00 -> Op_imm (SRLI, rd, rs1, shamt)
+    | 0b101, false when funct6 = 0x10 -> Op_imm (SRAI, rd, rs1, shamt)
+    | 0b000, true -> Op_imm (ADDIW, rd, rs1, imm)
+    | 0b001, true when funct6 = 0x00 -> Op_imm (SLLIW, rd, rs1, shamt)
+    | 0b101, true when funct6 = 0x00 -> Op_imm (SRLIW, rd, rs1, shamt)
+    | 0b101, true when funct6 = 0x10 -> Op_imm (SRAIW, rd, rs1, shamt)
+    | _ -> illegal w
+  in
+  op
+
+let decode_op ~word_variant w =
+  let rd = (w lsr 7) land 0x1f in
+  let rs1 = (w lsr 15) land 0x1f in
+  let rs2 = (w lsr 20) land 0x1f in
+  let funct3 = (w lsr 12) land 0x7 in
+  let funct7 = (w lsr 25) land 0x7f in
+  let open Insn in
+  let op =
+    match (funct7, funct3, word_variant) with
+    | 0x00, 0b000, false -> ADD
+    | 0x20, 0b000, false -> SUB
+    | 0x00, 0b001, false -> SLL
+    | 0x00, 0b010, false -> SLT
+    | 0x00, 0b011, false -> SLTU
+    | 0x00, 0b100, false -> XOR
+    | 0x00, 0b101, false -> SRL
+    | 0x20, 0b101, false -> SRA
+    | 0x00, 0b110, false -> OR
+    | 0x00, 0b111, false -> AND
+    | 0x01, 0b000, false -> MUL
+    | 0x01, 0b001, false -> MULH
+    | 0x01, 0b010, false -> MULHSU
+    | 0x01, 0b011, false -> MULHU
+    | 0x01, 0b100, false -> DIV
+    | 0x01, 0b101, false -> DIVU
+    | 0x01, 0b110, false -> REM
+    | 0x01, 0b111, false -> REMU
+    | 0x00, 0b000, true -> ADDW
+    | 0x20, 0b000, true -> SUBW
+    | 0x00, 0b001, true -> SLLW
+    | 0x00, 0b101, true -> SRLW
+    | 0x20, 0b101, true -> SRAW
+    | 0x01, 0b000, true -> MULW
+    | 0x01, 0b100, true -> DIVW
+    | 0x01, 0b101, true -> DIVUW
+    | 0x01, 0b110, true -> REMW
+    | 0x01, 0b111, true -> REMUW
+    | _ -> illegal w
+  in
+  Op (op, rd, rs1, rs2)
+
+let decode_load w =
+  let rd = (w lsr 7) land 0x1f in
+  let rs1 = (w lsr 15) land 0x1f in
+  let imm = sign_extend 12 (w lsr 20) in
+  let open Insn in
+  match (w lsr 12) land 0x7 with
+  | 0b000 -> Load (B, false, rd, rs1, imm)
+  | 0b001 -> Load (H, false, rd, rs1, imm)
+  | 0b010 -> Load (W, false, rd, rs1, imm)
+  | 0b011 -> Load (D, false, rd, rs1, imm)
+  | 0b100 -> Load (B, true, rd, rs1, imm)
+  | 0b101 -> Load (H, true, rd, rs1, imm)
+  | 0b110 -> Load (W, true, rd, rs1, imm)
+  | _ -> illegal w
+
+let decode_store w =
+  let rs1 = (w lsr 15) land 0x1f in
+  let rs2 = (w lsr 20) land 0x1f in
+  let imm = sign_extend 12 (((w lsr 25) lsl 5) lor ((w lsr 7) land 0x1f)) in
+  let open Insn in
+  match (w lsr 12) land 0x7 with
+  | 0b000 -> Store (B, rs2, rs1, imm)
+  | 0b001 -> Store (H, rs2, rs1, imm)
+  | 0b010 -> Store (W, rs2, rs1, imm)
+  | 0b011 -> Store (D, rs2, rs1, imm)
+  | _ -> illegal w
+
+let decode_branch w =
+  let rs1 = (w lsr 15) land 0x1f in
+  let rs2 = (w lsr 20) land 0x1f in
+  let imm =
+    ((w lsr 31) land 1) lsl 12
+    lor (((w lsr 7) land 1) lsl 11)
+    lor (((w lsr 25) land 0x3f) lsl 5)
+    lor (((w lsr 8) land 0xf) lsl 1)
+  in
+  let imm = sign_extend 13 imm in
+  let open Insn in
+  match (w lsr 12) land 0x7 with
+  | 0b000 -> Branch (BEQ, rs1, rs2, imm)
+  | 0b001 -> Branch (BNE, rs1, rs2, imm)
+  | 0b100 -> Branch (BLT, rs1, rs2, imm)
+  | 0b101 -> Branch (BGE, rs1, rs2, imm)
+  | 0b110 -> Branch (BLTU, rs1, rs2, imm)
+  | 0b111 -> Branch (BGEU, rs1, rs2, imm)
+  | _ -> illegal w
+
+let decode_jal w =
+  let rd = (w lsr 7) land 0x1f in
+  let imm =
+    ((w lsr 31) land 1) lsl 20
+    lor (((w lsr 12) land 0xff) lsl 12)
+    lor (((w lsr 20) land 1) lsl 11)
+    lor (((w lsr 21) land 0x3ff) lsl 1)
+  in
+  Insn.Jal (rd, sign_extend 21 imm)
+
+let decode_system w =
+  let rd = (w lsr 7) land 0x1f in
+  let rs1 = (w lsr 15) land 0x1f in
+  let funct3 = (w lsr 12) land 0x7 in
+  let csr = (w lsr 20) land 0xfff in
+  if w = 0x73 then Insn.Ecall
+  else if funct3 = 0b010 && csr = 0xC00 && rs1 = 0 then Insn.Rdcycle rd
+  else illegal w
+
+let decode w =
+  let w = w land 0xFFFFFFFF in
+  match w land 0x7f with
+  | 0x13 -> decode_op_imm ~word_variant:false w
+  | 0x1b -> decode_op_imm ~word_variant:true w
+  | 0x33 -> decode_op ~word_variant:false w
+  | 0x3b -> decode_op ~word_variant:true w
+  | 0x37 -> Insn.Lui ((w lsr 7) land 0x1f, (w lsr 12) land 0xfffff)
+  | 0x17 -> Insn.Auipc ((w lsr 7) land 0x1f, (w lsr 12) land 0xfffff)
+  | 0x03 -> decode_load w
+  | 0x23 -> decode_store w
+  | 0x63 -> decode_branch w
+  | 0x6f -> decode_jal w
+  | 0x67 ->
+    if (w lsr 12) land 0x7 <> 0 then illegal w
+    else
+      Insn.Jalr
+        ((w lsr 7) land 0x1f, (w lsr 15) land 0x1f, sign_extend 12 (w lsr 20))
+  | 0x73 -> decode_system w
+  | 0x0f -> Insn.Fence
+  | 0x0b ->
+    if (w lsr 12) land 0x7 <> 0 then illegal w
+    else Insn.Cflush ((w lsr 15) land 0x1f)
+  | _ -> illegal w

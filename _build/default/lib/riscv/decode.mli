@@ -1,0 +1,7 @@
+(** Decoding of 32-bit instruction words back into {!Insn.t}. *)
+
+exception Illegal of int
+(** Raised on an instruction word this implementation cannot decode. *)
+
+val decode : int -> Insn.t
+(** Inverse of {!Encode.encode}. Raises {!Illegal} on unknown encodings. *)

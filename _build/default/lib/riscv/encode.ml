@@ -1,0 +1,163 @@
+let mask bits v = v land ((1 lsl bits) - 1)
+
+let check_signed bits name v =
+  let lo = -(1 lsl (bits - 1)) and hi = (1 lsl (bits - 1)) - 1 in
+  if v < lo || v > hi then
+    invalid_arg (Printf.sprintf "Encode: %s immediate %d out of range" name v)
+
+let r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode =
+  (funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (rd lsl 7) lor opcode
+
+let i_type ~imm ~rs1 ~funct3 ~rd ~opcode =
+  check_signed 12 "I-type" imm;
+  (mask 12 imm lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7)
+  lor opcode
+
+let csr_type ~csr ~rs1 ~funct3 ~rd =
+  (csr lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7) lor 0x73
+
+let s_type ~imm ~rs2 ~rs1 ~funct3 ~opcode =
+  check_signed 12 "S-type" imm;
+  let imm = mask 12 imm in
+  ((imm lsr 5) lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (mask 5 imm lsl 7) lor opcode
+
+let b_type ~imm ~rs2 ~rs1 ~funct3 =
+  check_signed 13 "B-type" imm;
+  if imm land 1 <> 0 then invalid_arg "Encode: odd branch offset";
+  let imm = mask 13 imm in
+  let bit n = (imm lsr n) land 1 in
+  (bit 12 lsl 31)
+  lor (((imm lsr 5) land 0x3f) lsl 25)
+  lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (((imm lsr 1) land 0xf) lsl 8)
+  lor (bit 11 lsl 7) lor 0x63
+
+let u_type ~imm ~rd ~opcode =
+  (* The immediate is the raw 20-bit field; its architectural value is
+     [sext32 (imm lsl 12)]. *)
+  if imm < 0 || imm >= 1 lsl 20 then
+    invalid_arg "Encode: U-type immediate out of range";
+  (mask 20 imm lsl 12) lor (rd lsl 7) lor opcode
+
+let j_type ~imm ~rd =
+  check_signed 21 "J-type" imm;
+  if imm land 1 <> 0 then invalid_arg "Encode: odd jump offset";
+  let imm = mask 21 imm in
+  let bit n = (imm lsr n) land 1 in
+  (bit 20 lsl 31)
+  lor (((imm lsr 1) land 0x3ff) lsl 21)
+  lor (bit 11 lsl 20)
+  lor (((imm lsr 12) land 0xff) lsl 12)
+  lor (rd lsl 7) lor 0x6f
+
+let opri_fields op =
+  (* funct3, upper-bits template for shifts (funct6 lsl 26 on rv64) *)
+  match op with
+  | Insn.ADDI -> (0b000, None)
+  | Insn.SLTI -> (0b010, None)
+  | Insn.SLTIU -> (0b011, None)
+  | Insn.XORI -> (0b100, None)
+  | Insn.ORI -> (0b110, None)
+  | Insn.ANDI -> (0b111, None)
+  | Insn.SLLI -> (0b001, Some 0x00)
+  | Insn.SRLI -> (0b101, Some 0x00)
+  | Insn.SRAI -> (0b101, Some 0x10)
+  | Insn.ADDIW -> (0b000, None)
+  | Insn.SLLIW -> (0b001, Some 0x00)
+  | Insn.SRLIW -> (0b101, Some 0x00)
+  | Insn.SRAIW -> (0b101, Some 0x10)
+
+let opri_is_word = function
+  | Insn.ADDIW | Insn.SLLIW | Insn.SRLIW | Insn.SRAIW -> true
+  | Insn.ADDI | Insn.SLTI | Insn.SLTIU | Insn.XORI | Insn.ORI | Insn.ANDI
+  | Insn.SLLI | Insn.SRLI | Insn.SRAI ->
+    false
+
+let oprr_fields op =
+  (* funct7, funct3, is_word *)
+  match op with
+  | Insn.ADD -> (0x00, 0b000, false)
+  | Insn.SUB -> (0x20, 0b000, false)
+  | Insn.SLL -> (0x00, 0b001, false)
+  | Insn.SLT -> (0x00, 0b010, false)
+  | Insn.SLTU -> (0x00, 0b011, false)
+  | Insn.XOR -> (0x00, 0b100, false)
+  | Insn.SRL -> (0x00, 0b101, false)
+  | Insn.SRA -> (0x20, 0b101, false)
+  | Insn.OR -> (0x00, 0b110, false)
+  | Insn.AND -> (0x00, 0b111, false)
+  | Insn.ADDW -> (0x00, 0b000, true)
+  | Insn.SUBW -> (0x20, 0b000, true)
+  | Insn.SLLW -> (0x00, 0b001, true)
+  | Insn.SRLW -> (0x00, 0b101, true)
+  | Insn.SRAW -> (0x20, 0b101, true)
+  | Insn.MUL -> (0x01, 0b000, false)
+  | Insn.MULH -> (0x01, 0b001, false)
+  | Insn.MULHSU -> (0x01, 0b010, false)
+  | Insn.MULHU -> (0x01, 0b011, false)
+  | Insn.DIV -> (0x01, 0b100, false)
+  | Insn.DIVU -> (0x01, 0b101, false)
+  | Insn.REM -> (0x01, 0b110, false)
+  | Insn.REMU -> (0x01, 0b111, false)
+  | Insn.MULW -> (0x01, 0b000, true)
+  | Insn.DIVW -> (0x01, 0b100, true)
+  | Insn.DIVUW -> (0x01, 0b101, true)
+  | Insn.REMW -> (0x01, 0b110, true)
+  | Insn.REMUW -> (0x01, 0b111, true)
+
+let width_funct3 ~unsigned = function
+  | Insn.B -> if unsigned then 0b100 else 0b000
+  | Insn.H -> if unsigned then 0b101 else 0b001
+  | Insn.W -> if unsigned then 0b110 else 0b010
+  | Insn.D -> 0b011
+
+let cond_funct3 = function
+  | Insn.BEQ -> 0b000
+  | Insn.BNE -> 0b001
+  | Insn.BLT -> 0b100
+  | Insn.BGE -> 0b101
+  | Insn.BLTU -> 0b110
+  | Insn.BGEU -> 0b111
+
+let cycle_csr = 0xC00
+
+let encode insn =
+  match insn with
+  | Insn.Op_imm (op, rd, rs1, imm) ->
+    let funct3, shift = opri_fields op in
+    let opcode = if opri_is_word op then 0x1b else 0x13 in
+    let imm =
+      match shift with
+      | None -> imm
+      | Some top ->
+        let shamt_bits = if opri_is_word op then 5 else 6 in
+        if imm < 0 || imm >= 1 lsl shamt_bits then
+          invalid_arg "Encode: shift amount out of range";
+        (top lsl 6) lor imm
+    in
+    i_type ~imm ~rs1 ~funct3 ~rd ~opcode
+  | Insn.Op (op, rd, rs1, rs2) ->
+    let funct7, funct3, word = oprr_fields op in
+    r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd
+      ~opcode:(if word then 0x3b else 0x33)
+  | Insn.Lui (rd, imm) -> u_type ~imm ~rd ~opcode:0x37
+  | Insn.Auipc (rd, imm) -> u_type ~imm ~rd ~opcode:0x17
+  | Insn.Load (w, unsigned, rd, rs1, off) ->
+    i_type ~imm:off ~rs1 ~funct3:(width_funct3 ~unsigned w) ~rd ~opcode:0x03
+  | Insn.Store (w, rs2, rs1, off) ->
+    s_type ~imm:off ~rs2 ~rs1
+      ~funct3:(width_funct3 ~unsigned:false w)
+      ~opcode:0x23
+  | Insn.Branch (cond, rs1, rs2, off) ->
+    b_type ~imm:off ~rs2 ~rs1 ~funct3:(cond_funct3 cond)
+  | Insn.Jal (rd, off) -> j_type ~imm:off ~rd
+  | Insn.Jalr (rd, rs1, off) ->
+    i_type ~imm:off ~rs1 ~funct3:0b000 ~rd ~opcode:0x67
+  | Insn.Ecall -> 0x73
+  | Insn.Fence -> i_type ~imm:0 ~rs1:0 ~funct3:0b000 ~rd:0 ~opcode:0x0f
+  | Insn.Rdcycle rd -> csr_type ~csr:cycle_csr ~rs1:0 ~funct3:0b010 ~rd
+  | Insn.Cflush rs1 ->
+    (* custom-0 opcode, funct3 0: cflush rs1 *)
+    i_type ~imm:0 ~rs1 ~funct3:0b000 ~rd:0 ~opcode:0x0b

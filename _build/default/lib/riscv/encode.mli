@@ -1,0 +1,8 @@
+(** Binary encoding of guest instructions into 32-bit RISC-V words.
+
+    Standard rv64im encodings are used; [Rdcycle] encodes as
+    [csrrs rd, cycle, x0] and [Cflush] uses the custom-0 opcode space.
+    Raises [Invalid_argument] when an immediate does not fit its field. *)
+
+val encode : Insn.t -> int
+(** The 32-bit instruction word (in [\[0, 2^32)]). *)

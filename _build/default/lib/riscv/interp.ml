@@ -1,0 +1,252 @@
+type hooks = {
+  mem_extra : addr:int -> size:int -> write:bool -> int;
+  flush_line : int -> unit;
+}
+
+let pure_hooks =
+  { mem_extra = (fun ~addr:_ ~size:_ ~write:_ -> 0); flush_line = ignore }
+
+type t = {
+  regs : int64 array;
+  mem : Mem.t;
+  clock : int64 ref;
+  hooks : hooks;
+  mutable pc : int;
+  mutable insn_count : int64;
+  output : Buffer.t;
+  decode_cache : Insn.t option array;
+      (* per-word decode cache; sound because guest code is never
+         self-modifying in this system *)
+}
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+let create ?(hooks = pure_hooks) ?clock ?regs ~mem ~pc () =
+  let clock = match clock with Some c -> c | None -> ref 0L in
+  let regs =
+    match regs with
+    | Some r ->
+      assert (Array.length r >= 32);
+      r
+    | None ->
+      let r = Array.make 32 0L in
+      r.(Reg.sp) <- Int64.of_int (Mem.size mem - 16);
+      r
+  in
+  {
+    regs;
+    mem;
+    clock;
+    hooks;
+    pc;
+    insn_count = 0L;
+    output = Buffer.create 64;
+    decode_cache = Array.make (Mem.size mem / 4) None;
+  }
+
+type step_info = {
+  s_pc : int;
+  s_insn : Insn.t;
+  s_next : int;
+  s_taken : bool option;
+  s_exit : int option;
+}
+
+let sext32 v = Int64.of_int32 (Int64.to_int32 v)
+
+let get t r = if r = 0 then 0L else t.regs.(r)
+
+let set t r v = if r <> 0 then t.regs.(r) <- v
+
+(* Unsigned 64x64 -> high 64 bits, via 32-bit limbs. *)
+let mulhu x y =
+  let open Int64 in
+  let mask32 = 0xFFFFFFFFL in
+  let x0 = logand x mask32 and x1 = shift_right_logical x 32 in
+  let y0 = logand y mask32 and y1 = shift_right_logical y 32 in
+  let t = mul x0 y0 in
+  let k = shift_right_logical t 32 in
+  let t = add (mul x1 y0) k in
+  let w1 = logand t mask32 and w2 = shift_right_logical t 32 in
+  let t = add (mul x0 y1) w1 in
+  add (add (mul x1 y1) w2) (shift_right_logical t 32)
+
+let mulh x y =
+  let open Int64 in
+  let h = mulhu x y in
+  let h = if compare x 0L < 0 then sub h y else h in
+  if compare y 0L < 0 then sub h x else h
+
+let mulhsu x y =
+  let open Int64 in
+  let h = mulhu x y in
+  if compare x 0L < 0 then sub h y else h
+
+let div_signed a b =
+  if Int64.equal b 0L then -1L
+  else if Int64.equal a Int64.min_int && Int64.equal b (-1L) then Int64.min_int
+  else Int64.div a b
+
+let rem_signed a b =
+  if Int64.equal b 0L then a
+  else if Int64.equal a Int64.min_int && Int64.equal b (-1L) then 0L
+  else Int64.rem a b
+
+let div_unsigned a b =
+  if Int64.equal b 0L then -1L else Int64.unsigned_div a b
+
+let rem_unsigned a b = if Int64.equal b 0L then a else Int64.unsigned_rem a b
+
+let alu_rr op a b =
+  let open Int64 in
+  match op with
+  | Insn.ADD -> add a b
+  | Insn.SUB -> sub a b
+  | Insn.SLL -> shift_left a (to_int b land 63)
+  | Insn.SLT -> if compare a b < 0 then 1L else 0L
+  | Insn.SLTU -> if unsigned_compare a b < 0 then 1L else 0L
+  | Insn.XOR -> logxor a b
+  | Insn.SRL -> shift_right_logical a (to_int b land 63)
+  | Insn.SRA -> shift_right a (to_int b land 63)
+  | Insn.OR -> logor a b
+  | Insn.AND -> logand a b
+  | Insn.ADDW -> sext32 (add a b)
+  | Insn.SUBW -> sext32 (sub a b)
+  | Insn.SLLW -> sext32 (shift_left a (to_int b land 31))
+  | Insn.SRLW ->
+    sext32 (shift_right_logical (logand a 0xFFFFFFFFL) (to_int b land 31))
+  | Insn.SRAW -> sext32 (shift_right (sext32 a) (to_int b land 31))
+  | Insn.MUL -> mul a b
+  | Insn.MULH -> mulh a b
+  | Insn.MULHSU -> mulhsu a b
+  | Insn.MULHU -> mulhu a b
+  | Insn.DIV -> div_signed a b
+  | Insn.DIVU -> div_unsigned a b
+  | Insn.REM -> rem_signed a b
+  | Insn.REMU -> rem_unsigned a b
+  | Insn.MULW -> sext32 (mul a b)
+  | Insn.DIVW ->
+    let a = sext32 a and b = sext32 b in
+    let q = if equal b 0L then -1L else if equal a (-2147483648L) && equal b (-1L) then a else div a b in
+    sext32 q
+  | Insn.DIVUW ->
+    let a = logand a 0xFFFFFFFFL and b = logand b 0xFFFFFFFFL in
+    sext32 (if equal b 0L then -1L else unsigned_div a b)
+  | Insn.REMW ->
+    let a = sext32 a and b = sext32 b in
+    let r = if equal b 0L then a else if equal a (-2147483648L) && equal b (-1L) then 0L else rem a b in
+    sext32 r
+  | Insn.REMUW ->
+    let a = logand a 0xFFFFFFFFL and b = logand b 0xFFFFFFFFL in
+    sext32 (if equal b 0L then a else unsigned_rem a b)
+
+let alu_imm op a imm =
+  match op with
+  | Insn.ADDI -> alu_rr Insn.ADD a imm
+  | Insn.SLTI -> alu_rr Insn.SLT a imm
+  | Insn.SLTIU -> alu_rr Insn.SLTU a imm
+  | Insn.XORI -> alu_rr Insn.XOR a imm
+  | Insn.ORI -> alu_rr Insn.OR a imm
+  | Insn.ANDI -> alu_rr Insn.AND a imm
+  | Insn.SLLI -> alu_rr Insn.SLL a imm
+  | Insn.SRLI -> alu_rr Insn.SRL a imm
+  | Insn.SRAI -> alu_rr Insn.SRA a imm
+  | Insn.ADDIW -> alu_rr Insn.ADDW a imm
+  | Insn.SLLIW -> alu_rr Insn.SLLW a imm
+  | Insn.SRLIW -> alu_rr Insn.SRLW a imm
+  | Insn.SRAIW -> alu_rr Insn.SRAW a imm
+
+let width_bytes = function Insn.B -> 1 | Insn.H -> 2 | Insn.W -> 4 | Insn.D -> 8
+
+let sign_of_width w v =
+  match w with
+  | Insn.B -> Int64.shift_right (Int64.shift_left v 56) 56
+  | Insn.H -> Int64.shift_right (Int64.shift_left v 48) 48
+  | Insn.W -> sext32 v
+  | Insn.D -> v
+
+let eval_cond cond a b =
+  match cond with
+  | Insn.BEQ -> Int64.equal a b
+  | Insn.BNE -> not (Int64.equal a b)
+  | Insn.BLT -> Int64.compare a b < 0
+  | Insn.BGE -> Int64.compare a b >= 0
+  | Insn.BLTU -> Int64.unsigned_compare a b < 0
+  | Insn.BGEU -> Int64.unsigned_compare a b >= 0
+
+let fetch t pc =
+  let slot = pc lsr 2 in
+  if pc land 3 = 0 && slot < Array.length t.decode_cache then
+    match t.decode_cache.(slot) with
+    | Some insn -> insn
+    | None ->
+      let insn = Decode.decode (Mem.load_insn_word t.mem ~addr:pc) in
+      t.decode_cache.(slot) <- Some insn;
+      insn
+  else Decode.decode (Mem.load_insn_word t.mem ~addr:pc)
+
+let step t =
+  let pc = t.pc in
+  let insn = fetch t pc in
+  let next = ref (pc + 4) in
+  let taken = ref None in
+  let exit_code = ref None in
+  let extra = ref 0 in
+  (match insn with
+  | Insn.Op_imm (op, rd, rs1, imm) ->
+    set t rd (alu_imm op (get t rs1) (Int64.of_int imm))
+  | Insn.Op (op, rd, rs1, rs2) ->
+    set t rd (alu_rr op (get t rs1) (get t rs2))
+  | Insn.Lui (rd, imm) -> set t rd (sext32 (Int64.of_int (imm lsl 12)))
+  | Insn.Auipc (rd, imm) ->
+    set t rd (Int64.add (Int64.of_int pc) (sext32 (Int64.of_int (imm lsl 12))))
+  | Insn.Load (w, unsigned, rd, rs1, off) ->
+    let addr = Int64.to_int (Int64.add (get t rs1) (Int64.of_int off)) in
+    let size = width_bytes w in
+    let v = Mem.load t.mem ~addr ~size in
+    extra := t.hooks.mem_extra ~addr ~size ~write:false;
+    set t rd (if unsigned then v else sign_of_width w v)
+  | Insn.Store (w, rs2, rs1, off) ->
+    let addr = Int64.to_int (Int64.add (get t rs1) (Int64.of_int off)) in
+    let size = width_bytes w in
+    Mem.store t.mem ~addr ~size (get t rs2);
+    extra := t.hooks.mem_extra ~addr ~size ~write:true
+  | Insn.Branch (cond, rs1, rs2, off) ->
+    let b = eval_cond cond (get t rs1) (get t rs2) in
+    taken := Some b;
+    if b then next := pc + off
+  | Insn.Jal (rd, off) ->
+    set t rd (Int64.of_int (pc + 4));
+    next := pc + off
+  | Insn.Jalr (rd, rs1, off) ->
+    let target =
+      Int64.to_int (Int64.add (get t rs1) (Int64.of_int off)) land lnot 1
+    in
+    set t rd (Int64.of_int (pc + 4));
+    next := target
+  | Insn.Ecall -> (
+    match Int64.to_int (get t Reg.a7) with
+    | 93 -> exit_code := Some (Int64.to_int (get t Reg.a0) land 0xff)
+    | 64 ->
+      Buffer.add_char t.output
+        (Char.chr (Int64.to_int (get t Reg.a0) land 0xff))
+    | n -> trap "unknown ecall %d at pc 0x%x" n pc)
+  | Insn.Fence -> ()
+  | Insn.Rdcycle rd -> set t rd !(t.clock)
+  | Insn.Cflush rs1 -> t.hooks.flush_line (Int64.to_int (get t rs1)));
+  t.pc <- !next;
+  t.insn_count <- Int64.add t.insn_count 1L;
+  t.clock := Int64.add !(t.clock) (Int64.of_int (1 + !extra));
+  { s_pc = pc; s_insn = insn; s_next = !next; s_taken = !taken;
+    s_exit = !exit_code }
+
+let run ?(max_insns = 1_000_000_000L) t =
+  let rec go () =
+    if Int64.compare t.insn_count max_insns > 0 then
+      trap "instruction budget exceeded"
+    else
+      match (step t).s_exit with Some code -> code | None -> go ()
+  in
+  go ()

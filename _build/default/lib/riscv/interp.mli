@@ -1,0 +1,73 @@
+(** Reference interpreter for the guest ISA.
+
+    This is the golden architectural model used for differential testing of
+    the DBT pipeline, and also the timing model for not-yet-translated code
+    in the co-designed processor (1 cycle per instruction plus memory
+    latency reported by the hooks).
+
+    The register file is passed in from outside so that interpreter and
+    VLIW core can share architectural state (the VLIW file simply has extra
+    hidden registers beyond index 31). *)
+
+type hooks = {
+  mem_extra : addr:int -> size:int -> write:bool -> int;
+      (** extra cycles charged for a memory access (cache model) *)
+  flush_line : int -> unit;  (** data-cache line flush *)
+}
+
+val pure_hooks : hooks
+(** No cache: zero extra cycles, flush is a no-op. *)
+
+type t = {
+  regs : int64 array;
+  mem : Mem.t;
+  clock : int64 ref;
+  hooks : hooks;
+  mutable pc : int;
+  mutable insn_count : int64;
+  output : Buffer.t;  (** bytes written by the write ecall *)
+  decode_cache : Insn.t option array;
+      (** per-word decode cache (guest code is never self-modifying) *)
+}
+
+exception Trap of string
+(** Unrecoverable guest error (illegal instruction, bad ecall, ...). *)
+
+val create :
+  ?hooks:hooks -> ?clock:int64 ref -> ?regs:int64 array -> mem:Mem.t ->
+  pc:int -> unit -> t
+(** [regs] must have at least 32 entries; a fresh 32-entry file is
+    allocated by default, with [sp] initialised to 16 bytes below the top
+    of memory. *)
+
+type step_info = {
+  s_pc : int;  (** pc of the executed instruction *)
+  s_insn : Insn.t;
+  s_next : int;  (** pc after the instruction *)
+  s_taken : bool option;  (** for conditional branches *)
+  s_exit : int option;  (** exit code when the program terminated *)
+}
+
+val alu_rr : Insn.oprr -> int64 -> int64 -> int64
+(** Pure semantics of register-register ALU operations (also reused by the
+    VLIW execution units, which must agree with the reference model). *)
+
+val alu_imm : Insn.opri -> int64 -> int64 -> int64
+
+val mulhu : int64 -> int64 -> int64
+(** High 64 bits of the unsigned 128-bit product. *)
+
+val eval_cond : Insn.branch_cond -> int64 -> int64 -> bool
+
+val sign_of_width : Insn.width -> int64 -> int64
+(** Sign-extend a zero-extended loaded value to its width. *)
+
+val width_bytes : Insn.width -> int
+
+val step : t -> step_info
+(** Execute one instruction, advancing pc and the clock. Raises {!Trap} /
+    {!Mem.Fault} on errors. *)
+
+val run : ?max_insns:int64 -> t -> int
+(** Run until the exit ecall; returns the exit code. Raises {!Trap} when
+    [max_insns] (default 1e9) is exceeded. *)

@@ -1,0 +1,43 @@
+type t = { data : Bytes.t }
+
+exception Fault of int
+
+let create ~size = { data = Bytes.make size '\000' }
+
+let size t = Bytes.length t.data
+
+let check t addr n =
+  if addr < 0 || addr + n > Bytes.length t.data then raise (Fault addr)
+
+let load t ~addr ~size =
+  check t addr size;
+  match size with
+  | 1 -> Int64.of_int (Char.code (Bytes.unsafe_get t.data addr))
+  | 2 -> Int64.of_int (Bytes.get_uint16_le t.data addr)
+  | 4 -> Int64.of_int32 (Bytes.get_int32_le t.data addr)
+        |> Int64.logand 0xFFFFFFFFL
+  | 8 -> Bytes.get_int64_le t.data addr
+  | _ -> invalid_arg "Mem.load: size"
+
+let store t ~addr ~size v =
+  check t addr size;
+  match size with
+  | 1 -> Bytes.unsafe_set t.data addr (Char.unsafe_chr (Int64.to_int v land 0xff))
+  | 2 -> Bytes.set_uint16_le t.data addr (Int64.to_int v land 0xffff)
+  | 4 -> Bytes.set_int32_le t.data addr (Int64.to_int32 v)
+  | 8 -> Bytes.set_int64_le t.data addr v
+  | _ -> invalid_arg "Mem.store: size"
+
+let load_insn_word t ~addr =
+  check t addr 4;
+  Int32.to_int (Bytes.get_int32_le t.data addr) land 0xFFFFFFFF
+
+let blit_bytes t ~addr b =
+  check t addr (Bytes.length b);
+  Bytes.blit b 0 t.data addr (Bytes.length b)
+
+let read_bytes t ~addr ~len =
+  check t addr len;
+  Bytes.sub t.data addr len
+
+let copy t = { data = Bytes.copy t.data }

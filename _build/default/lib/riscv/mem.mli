@@ -1,0 +1,28 @@
+(** Flat byte-addressable little-endian guest memory. *)
+
+type t
+
+exception Fault of int
+(** Raised on an out-of-range access; carries the faulting address. *)
+
+val create : size:int -> t
+(** Zero-initialised memory of [size] bytes. *)
+
+val size : t -> int
+
+val load : t -> addr:int -> size:int -> int64
+(** Little-endian load of 1, 2, 4 or 8 bytes, zero-extended. *)
+
+val store : t -> addr:int -> size:int -> int64 -> unit
+(** Little-endian store of the low [size] bytes of the value. *)
+
+val load_insn_word : t -> addr:int -> int
+(** 32-bit instruction fetch. *)
+
+val blit_bytes : t -> addr:int -> bytes -> unit
+(** Copy raw bytes into memory at [addr]. *)
+
+val read_bytes : t -> addr:int -> len:int -> bytes
+
+val copy : t -> t
+(** Deep copy (used by differential tests). *)

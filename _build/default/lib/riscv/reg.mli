@@ -1,0 +1,48 @@
+(** Guest (architectural) register names for rv64im.
+
+    Registers are plain integers in [\[0, 31\]]; this module provides the ABI
+    aliases used when writing guest programs and pretty-printing. *)
+
+type t = int
+
+val zero : t
+val ra : t
+val sp : t
+val gp : t
+val tp : t
+
+val t0 : t
+val t1 : t
+val t2 : t
+val t3 : t
+val t4 : t
+val t5 : t
+val t6 : t
+
+val s0 : t
+val s1 : t
+val s2 : t
+val s3 : t
+val s4 : t
+val s5 : t
+val s6 : t
+val s7 : t
+val s8 : t
+val s9 : t
+val s10 : t
+val s11 : t
+
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+val a4 : t
+val a5 : t
+val a6 : t
+val a7 : t
+
+val name : t -> string
+(** ABI name, e.g. [name 10 = "a0"]. Raises [Invalid_argument] outside
+    [\[0, 31\]]. *)
+
+val is_valid : t -> bool

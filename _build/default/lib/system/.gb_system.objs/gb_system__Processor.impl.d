@@ -1,0 +1,1 @@
+lib/system/processor.ml: Array Buffer Gb_cache Gb_dbt Gb_riscv Gb_vliw Int64

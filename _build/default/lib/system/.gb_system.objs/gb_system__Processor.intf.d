@@ -1,0 +1,1 @@
+lib/system/processor.mli: Gb_cache Gb_core Gb_dbt Gb_riscv Gb_vliw

@@ -1,0 +1,1 @@
+lib/system/report.ml: Array Format Gb_cache Gb_dbt Gb_util Gb_vliw Int64 List Printf Processor

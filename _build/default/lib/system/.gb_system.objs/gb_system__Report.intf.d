@@ -1,0 +1,1 @@
+lib/system/report.mli: Format Gb_util Processor

@@ -1,0 +1,139 @@
+type config = {
+  mem_size : int;
+  hier : Gb_cache.Hierarchy.config;
+  machine : Gb_vliw.Machine.config;
+  engine : Gb_dbt.Engine.config;
+  max_cycles : int64;
+}
+
+let default_config =
+  {
+    mem_size = 1 lsl 20;
+    hier = Gb_cache.Hierarchy.default_config;
+    machine = Gb_vliw.Machine.default_config;
+    engine = Gb_dbt.Engine.default_config;
+    max_cycles = 4_000_000_000L;
+  }
+
+let config_for mode =
+  {
+    default_config with
+    engine = { Gb_dbt.Engine.default_config with Gb_dbt.Engine.mode };
+  }
+
+type result = {
+  exit_code : int;
+  cycles : int64;
+  interp_insns : int64;
+  trace_runs : int64;
+  bundles : int64;
+  side_exits : int64;
+  rollbacks : int64;
+  stall_cycles : int64;
+  translations : int;
+  first_pass_translations : int;
+  patterns_found : int;
+  loads_constrained : int;
+  fences_inserted : int;
+  spec_loads : int;
+  output : string;
+}
+
+type t = {
+  cfg : config;
+  mem : Gb_riscv.Mem.t;
+  clock : int64 ref;
+  hier : Gb_cache.Hierarchy.t;
+  interp : Gb_riscv.Interp.t;
+  machine : Gb_vliw.Machine.t;
+  engine : Gb_dbt.Engine.t;
+}
+
+let create ?(config = default_config) program =
+  let mem = Gb_riscv.Mem.create ~size:config.mem_size in
+  Gb_riscv.Asm.load mem program;
+  let clock = ref 0L in
+  let hier = Gb_cache.Hierarchy.create config.hier in
+  let regs =
+    Array.make
+      (Gb_vliw.Vinsn.guest_regs + config.machine.Gb_vliw.Machine.n_hidden)
+      0L
+  in
+  regs.(Gb_riscv.Reg.sp) <- Int64.of_int (config.mem_size - 16);
+  let hooks =
+    {
+      Gb_riscv.Interp.mem_extra =
+        (fun ~addr ~size ~write ->
+          let hit = Gb_cache.Hierarchy.access hier ~addr ~size ~write in
+          Gb_cache.Hierarchy.interp_cost hier ~hit);
+      flush_line = (fun addr -> Gb_cache.Hierarchy.flush_line hier addr);
+    }
+  in
+  let interp =
+    Gb_riscv.Interp.create ~hooks ~clock ~regs ~mem
+      ~pc:program.Gb_riscv.Asm.entry ()
+  in
+  let machine =
+    Gb_vliw.Machine.create ~cfg:config.machine ~mem ~hier ~clock ~regs ()
+  in
+  let engine = Gb_dbt.Engine.create config.engine ~mem in
+  { cfg = config; mem; clock; hier; interp; machine; engine }
+
+let mem t = t.mem
+
+let hierarchy t = t.hier
+
+let engine t = t.engine
+
+let result_of t exit_code =
+  let ms = t.machine.Gb_vliw.Machine.stats in
+  let es = Gb_dbt.Engine.stats t.engine in
+  {
+    exit_code;
+    cycles = !(t.clock);
+    interp_insns = t.interp.Gb_riscv.Interp.insn_count;
+    trace_runs = ms.Gb_vliw.Machine.trace_runs;
+    bundles = ms.Gb_vliw.Machine.bundles;
+    side_exits = ms.Gb_vliw.Machine.side_exits;
+    rollbacks = ms.Gb_vliw.Machine.rollbacks;
+    stall_cycles = ms.Gb_vliw.Machine.stall_cycles;
+    translations = es.Gb_dbt.Engine.translations;
+    first_pass_translations = es.Gb_dbt.Engine.first_pass_translations;
+    patterns_found = es.Gb_dbt.Engine.patterns_found;
+    loads_constrained = es.Gb_dbt.Engine.loads_constrained;
+    fences_inserted = es.Gb_dbt.Engine.fences_inserted;
+    spec_loads = es.Gb_dbt.Engine.spec_loads;
+    output = Buffer.contents t.interp.Gb_riscv.Interp.output;
+  }
+
+let run t =
+  let engine = t.engine in
+  Gb_dbt.Engine.record_block_entry engine t.interp.Gb_riscv.Interp.pc;
+  let rec loop () =
+    if Int64.compare !(t.clock) t.cfg.max_cycles > 0 then
+      raise (Gb_riscv.Interp.Trap "cycle watchdog exceeded");
+    let pc = t.interp.Gb_riscv.Interp.pc in
+    match Gb_dbt.Engine.lookup engine pc with
+    | Some trace ->
+      let info = Gb_vliw.Pipeline.run t.machine trace in
+      t.interp.Gb_riscv.Interp.pc <- info.Gb_vliw.Pipeline.next_pc;
+      Gb_dbt.Engine.record_block_exit engine ~entry:pc info;
+      Gb_dbt.Engine.record_block_entry engine info.Gb_vliw.Pipeline.next_pc;
+      loop ()
+    | None -> (
+      let si = Gb_riscv.Interp.step t.interp in
+      (match (si.Gb_riscv.Interp.s_insn, si.Gb_riscv.Interp.s_taken) with
+      | Gb_riscv.Insn.Branch _, Some taken ->
+        Gb_dbt.Engine.record_branch engine ~pc:si.Gb_riscv.Interp.s_pc ~taken
+      | _, _ -> ());
+      if si.Gb_riscv.Interp.s_next <> si.Gb_riscv.Interp.s_pc + 4 then
+        Gb_dbt.Engine.record_block_entry engine si.Gb_riscv.Interp.s_next;
+      match si.Gb_riscv.Interp.s_exit with
+      | Some code -> result_of t code
+      | None -> loop ())
+  in
+  loop ()
+
+let run_program ?config program =
+  let t = create ?config program in
+  run t

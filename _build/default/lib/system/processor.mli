@@ -1,0 +1,54 @@
+(** The co-designed DBT processor: a reference interpreter executes (and
+    profiles) cold code; hot paths are translated by the DBT engine and run
+    on the VLIW core. Interpreter and core share one architectural
+    register file, one memory, one data cache and one clock — so the cache
+    side channel crosses the boundary exactly as on the real machine. *)
+
+type config = {
+  mem_size : int;
+  hier : Gb_cache.Hierarchy.config;
+  machine : Gb_vliw.Machine.config;
+  engine : Gb_dbt.Engine.config;
+  max_cycles : int64;  (** watchdog *)
+}
+
+val default_config : config
+
+val config_for : Gb_core.Mitigation.mode -> config
+(** Default configuration with the engine running a given mitigation. *)
+
+type result = {
+  exit_code : int;
+  cycles : int64;
+  interp_insns : int64;  (** guest instructions executed by the interpreter *)
+  trace_runs : int64;
+  bundles : int64;
+  side_exits : int64;
+  rollbacks : int64;
+  stall_cycles : int64;
+  translations : int;
+  first_pass_translations : int;
+  patterns_found : int;
+  loads_constrained : int;
+  fences_inserted : int;
+  spec_loads : int;
+  output : string;
+}
+
+type t
+
+val create : ?config:config -> Gb_riscv.Asm.program -> t
+
+val mem : t -> Gb_riscv.Mem.t
+
+val hierarchy : t -> Gb_cache.Hierarchy.t
+
+val engine : t -> Gb_dbt.Engine.t
+
+val run : t -> result
+(** Run to the exit ecall. Raises {!Gb_riscv.Interp.Trap} on guest errors
+    or when [max_cycles] is exceeded. *)
+
+val run_program :
+  ?config:config -> Gb_riscv.Asm.program -> result
+(** [create] + [run]. *)

@@ -1,0 +1,17 @@
+(** Minimal JSON encoder (no external dependencies) used to export
+    experiment results in machine-readable form. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact encoding with full string escaping. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented encoding. *)

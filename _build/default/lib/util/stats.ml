@@ -1,0 +1,32 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 1.
+  | xs ->
+    let log_sum = List.fold_left (fun acc x -> acc +. log x) 0. xs in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let sorted xs = List.sort compare xs
+
+let median = function
+  | [] -> 0.
+  | xs ->
+    let arr = Array.of_list (sorted xs) in
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2)
+    else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.
+
+let percentile p = function
+  | [] -> 0.
+  | xs ->
+    let arr = Array.of_list (sorted xs) in
+    let n = Array.length arr in
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    arr.(max 0 (min (n - 1) idx))
+
+let min_max = function
+  | [] -> (0., 0.)
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs

@@ -1,0 +1,17 @@
+(** Small numeric summaries used by the benchmark harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; 1. on the empty list. All inputs must be > 0. *)
+
+val median : float list -> float
+(** Median (average of the two central elements for even lengths);
+    0. on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank; 0. on []. *)
+
+val min_max : float list -> float * float
+(** (min, max); (0., 0.) on the empty list. *)

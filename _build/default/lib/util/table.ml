@@ -1,0 +1,31 @@
+let pad_row width row =
+  if List.length row >= width then row
+  else row @ List.init (width - List.length row) (fun _ -> "")
+
+let render ~header ~rows =
+  let width = List.length header in
+  let rows = List.map (pad_row width) rows in
+  let all = header :: rows in
+  let col_width i =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init width col_width in
+  let fmt_cell i cell =
+    let w = List.nth widths i in
+    if i = 0 then Printf.sprintf "%-*s" w cell else Printf.sprintf "%*s" w cell
+  in
+  let fmt_row row = String.concat "  " (List.mapi fmt_cell row) in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (fmt_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (fmt_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ~header ~rows = print_string (render ~header ~rows)

@@ -1,0 +1,1 @@
+lib/vliw/machine.ml: Array Gb_cache Gb_riscv Mcb Vinsn

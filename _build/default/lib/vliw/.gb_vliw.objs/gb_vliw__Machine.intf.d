@@ -1,0 +1,1 @@
+lib/vliw/machine.mli: Gb_cache Gb_riscv Mcb

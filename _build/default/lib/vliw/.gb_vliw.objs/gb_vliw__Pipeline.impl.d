@@ -1,0 +1,1 @@
+lib/vliw/pipeline.ml: Array Gb_cache Gb_riscv Int64 List Machine Mcb Printf Vinsn

@@ -1,0 +1,1 @@
+lib/vliw/pipeline.mli: Machine Vinsn

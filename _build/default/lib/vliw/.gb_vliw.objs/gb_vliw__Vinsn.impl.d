@@ -1,0 +1,1 @@
+lib/vliw/vinsn.ml: Array Format Gb_riscv List Printf String

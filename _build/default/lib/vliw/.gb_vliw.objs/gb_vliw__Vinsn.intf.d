@@ -1,0 +1,1 @@
+lib/vliw/vinsn.mli: Format Gb_riscv

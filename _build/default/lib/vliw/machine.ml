@@ -1,0 +1,41 @@
+type config = { n_hidden : int; mcb_entries : int; exit_penalty : int }
+
+let default_config = { n_hidden = 96; mcb_entries = 8; exit_penalty = 4 }
+
+type stats = {
+  mutable bundles : int64;
+  mutable trace_runs : int64;
+  mutable side_exits : int64;
+  mutable rollbacks : int64;
+  mutable stall_cycles : int64;
+}
+
+type t = {
+  cfg : config;
+  regs : int64 array;
+  mem : Gb_riscv.Mem.t;
+  hier : Gb_cache.Hierarchy.t;
+  clock : int64 ref;
+  mcb : Mcb.t;
+  stats : stats;
+}
+
+let create ?(cfg = default_config) ~mem ~hier ~clock ?regs () =
+  let regs =
+    match regs with
+    | Some r ->
+      assert (Array.length r >= Vinsn.guest_regs + cfg.n_hidden);
+      r
+    | None -> Array.make (Vinsn.guest_regs + cfg.n_hidden) 0L
+  in
+  {
+    cfg;
+    regs;
+    mem;
+    hier;
+    clock;
+    mcb = Mcb.create ~entries:cfg.mcb_entries;
+    stats =
+      { bundles = 0L; trace_runs = 0L; side_exits = 0L; rollbacks = 0L;
+        stall_cycles = 0L };
+  }

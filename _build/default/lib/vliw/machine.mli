@@ -1,0 +1,40 @@
+(** VLIW machine state: the shared register file (guest + hidden), guest
+    memory, the memory hierarchy, the global clock and the MCB. *)
+
+type config = {
+  n_hidden : int;  (** hidden (speculation) registers beyond the 32 guest ones *)
+  mcb_entries : int;
+  exit_penalty : int;  (** pipeline refill cycles on any trace exit *)
+}
+
+val default_config : config
+(** 96 hidden registers, 8 MCB entries, exit penalty 4. *)
+
+type stats = {
+  mutable bundles : int64;
+  mutable trace_runs : int64;
+  mutable side_exits : int64;
+  mutable rollbacks : int64;
+  mutable stall_cycles : int64;
+}
+
+type t = {
+  cfg : config;
+  regs : int64 array;
+  mem : Gb_riscv.Mem.t;
+  hier : Gb_cache.Hierarchy.t;
+  clock : int64 ref;
+  mcb : Mcb.t;
+  stats : stats;
+}
+
+val create :
+  ?cfg:config ->
+  mem:Gb_riscv.Mem.t ->
+  hier:Gb_cache.Hierarchy.t ->
+  clock:int64 ref ->
+  ?regs:int64 array ->
+  unit ->
+  t
+(** [regs], when provided, must be at least [32 + cfg.n_hidden] long (it is
+    shared with the interpreter, which only uses the first 32 slots). *)

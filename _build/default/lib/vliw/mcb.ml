@@ -1,0 +1,51 @@
+type t = {
+  addrs : int array;
+  sizes : int array;
+  live : bool array;
+  conflict : bool array;
+  mutable total_conflicts : int;
+}
+
+let create ~entries =
+  {
+    addrs = Array.make entries 0;
+    sizes = Array.make entries 0;
+    live = Array.make entries false;
+    conflict = Array.make entries false;
+    total_conflicts = 0;
+  }
+
+let entries t = Array.length t.addrs
+
+let clear t =
+  Array.fill t.live 0 (Array.length t.live) false;
+  Array.fill t.conflict 0 (Array.length t.conflict) false
+
+let alloc t ~tag ~addr ~size =
+  t.addrs.(tag) <- addr;
+  t.sizes.(tag) <- size;
+  t.live.(tag) <- true;
+  t.conflict.(tag) <- false
+
+let overlap a1 s1 a2 s2 = a1 < a2 + s2 && a2 < a1 + s1
+
+let store_probe t ~addr ~size =
+  for tag = 0 to Array.length t.addrs - 1 do
+    if t.live.(tag) && not t.conflict.(tag)
+       && overlap addr size t.addrs.(tag) t.sizes.(tag)
+    then begin
+      t.conflict.(tag) <- true;
+      t.total_conflicts <- t.total_conflicts + 1
+    end
+  done
+
+let check t ~tag =
+  if not t.live.(tag) then false
+  else begin
+    t.live.(tag) <- false;
+    let c = t.conflict.(tag) in
+    t.conflict.(tag) <- false;
+    c
+  end
+
+let conflicts_recorded t = t.total_conflicts

@@ -1,0 +1,28 @@
+(** Memory Conflict Buffer (Gallagher et al., ASPLOS'94), the hardware
+    support for memory-dependency speculation: speculative loads record
+    their address; stores compare against all recorded addresses and mark
+    conflicts; the [chk] instruction consumes an entry and reports whether
+    a conflict occurred (in which case the DBT runtime rolls back). *)
+
+type t
+
+val create : entries:int -> t
+
+val entries : t -> int
+
+val clear : t -> unit
+(** Invalidate all entries (done on trace entry). *)
+
+val alloc : t -> tag:int -> addr:int -> size:int -> unit
+(** Record a speculative load. Re-allocating a live tag resets its
+    conflict bit. *)
+
+val store_probe : t -> addr:int -> size:int -> unit
+(** Called by every store: marks every live entry overlapping the range. *)
+
+val check : t -> tag:int -> bool
+(** Consume entry [tag]; returns [true] iff a conflict was recorded.
+    Unallocated tags report no conflict. *)
+
+val conflicts_recorded : t -> int
+(** Total number of conflicts marked since creation (statistics). *)

@@ -1,0 +1,138 @@
+type exit_kind = Fallthrough | Side_exit | Rollback
+
+type exit_info = { next_pc : int; kind : exit_kind }
+
+exception Machine_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Machine_error s)) fmt
+
+let eval regs = function
+  | Vinsn.R r -> if r = 0 then 0L else regs.(r)
+  | Vinsn.I v -> v
+
+(* Execute one pass over a trace. The mutable per-cycle state is kept in
+   local refs; register writes are buffered and applied at end of cycle to
+   get the parallel-read semantics right. *)
+let run (m : Machine.t) (trace : Vinsn.trace) =
+  let open Vinsn in
+  if Array.length m.regs < trace.n_regs then
+    error "trace needs %d registers, machine has %d" trace.n_regs
+      (Array.length m.regs);
+  let width =
+    if Array.length trace.bundles = 0 then 1
+    else Array.length trace.bundles.(0)
+  in
+  Mcb.clear m.mcb;
+  m.stats.trace_runs <- Int64.add m.stats.trace_runs 1L;
+  let writes = Array.make (width * 2) (-1, 0L) in
+  let n_writes = ref 0 in
+  let push_write dst v =
+    if dst <> 0 then begin
+      for i = 0 to !n_writes - 1 do
+        if fst writes.(i) = dst then error "duplicate write to register %d" dst
+      done;
+      writes.(!n_writes) <- (dst, v);
+      incr n_writes
+    end
+  in
+  let stall = ref 0 in
+  let taken_stub = ref None in
+  let take stub kind =
+    (match !taken_stub with
+    | Some _ -> error "two control operations taken in one bundle"
+    | None -> ());
+    taken_stub := Some (stub, kind)
+  in
+  let mem_size = Gb_riscv.Mem.size m.mem in
+  let load_value ~addr ~size =
+    (* deferred-fault semantics for speculative loads *)
+    if addr >= 0 && addr + size <= mem_size then
+      Gb_riscv.Mem.load m.mem ~addr ~size
+    else 0L
+  in
+  let touch_cache ~addr ~size ~write =
+    if addr >= 0 then begin
+      let hit = Gb_cache.Hierarchy.access m.hier ~addr ~size ~write in
+      stall := !stall + Gb_cache.Hierarchy.vliw_cost m.hier ~hit
+    end
+  in
+  let exec_op clock_now op =
+    match op with
+    | Nop | Fence -> ()
+    | Alu { op; dst; a; b } ->
+      push_write dst (Gb_riscv.Interp.alu_rr op (eval m.regs a) (eval m.regs b))
+    | Mv { dst; src } -> push_write dst (eval m.regs src)
+    | Rdcycle { dst } -> push_write dst clock_now
+    | Load { w; unsigned; dst; base; off; spec } ->
+      let addr = Int64.to_int (Int64.add (eval m.regs base) (Int64.of_int off)) in
+      let size = Gb_riscv.Interp.width_bytes w in
+      let raw = load_value ~addr ~size in
+      let v = if unsigned then raw else Gb_riscv.Interp.sign_of_width w raw in
+      touch_cache ~addr ~size ~write:false;
+      (match spec with
+      | Some tag -> Mcb.alloc m.mcb ~tag ~addr ~size
+      | None -> ());
+      push_write dst v
+    | Store { w; src; base; off } ->
+      let addr = Int64.to_int (Int64.add (eval m.regs base) (Int64.of_int off)) in
+      let size = Gb_riscv.Interp.width_bytes w in
+      Gb_riscv.Mem.store m.mem ~addr ~size (eval m.regs src);
+      touch_cache ~addr ~size ~write:true;
+      Mcb.store_probe m.mcb ~addr ~size
+    | Branch { cond; a; b; stub } ->
+      if Gb_riscv.Interp.eval_cond cond (eval m.regs a) (eval m.regs b) then
+        take stub Side_exit
+    | Chk { tag; stub } ->
+      if Mcb.check m.mcb ~tag then take stub Rollback
+    | Cflush { base; off } ->
+      let addr = Int64.to_int (Int64.add (eval m.regs base) (Int64.of_int off)) in
+      if addr >= 0 then Gb_cache.Hierarchy.flush_line m.hier addr
+    | Exit { stub } -> take stub Fallthrough
+  in
+  let finish stub_idx kind =
+    let stub = trace.stubs.(stub_idx) in
+    List.iter
+      (fun (dst, src) ->
+        if dst = 0 || dst >= guest_regs then
+          error "stub commit to non-guest register %d" dst;
+        m.regs.(dst) <- eval m.regs src)
+      stub.commits;
+    let commit_cycles = (List.length stub.commits + width - 1) / width in
+    (* a fall-through exit is block chaining — sequential fetch, no
+       pipeline flush; only mispredicted side exits and MCB rollbacks pay
+       the refill penalty *)
+    let penalty =
+      match kind with
+      | Fallthrough -> 0
+      | Side_exit | Rollback -> m.cfg.exit_penalty
+    in
+    m.clock := Int64.add !(m.clock) (Int64.of_int (commit_cycles + penalty));
+    (match kind with
+    | Side_exit -> m.stats.side_exits <- Int64.add m.stats.side_exits 1L
+    | Rollback -> m.stats.rollbacks <- Int64.add m.stats.rollbacks 1L
+    | Fallthrough -> ());
+    { next_pc = stub.target_pc; kind }
+  in
+  let n = Array.length trace.bundles in
+  let rec cycle i =
+    if i >= n then error "trace fell off the end without an Exit op"
+    else begin
+      let bundle = trace.bundles.(i) in
+      n_writes := 0;
+      stall := 0;
+      taken_stub := None;
+      let clock_now = !(m.clock) in
+      Array.iter (exec_op clock_now) bundle;
+      for k = 0 to !n_writes - 1 do
+        let dst, v = writes.(k) in
+        m.regs.(dst) <- v
+      done;
+      m.stats.bundles <- Int64.add m.stats.bundles 1L;
+      m.stats.stall_cycles <- Int64.add m.stats.stall_cycles (Int64.of_int !stall);
+      m.clock := Int64.add !(m.clock) (Int64.of_int (1 + !stall));
+      match !taken_stub with
+      | Some (stub, kind) -> finish stub kind
+      | None -> cycle (i + 1)
+    end
+  in
+  cycle 0

@@ -1,0 +1,30 @@
+(** In-order execution of translated traces.
+
+    One bundle issues per cycle; cache misses stall the whole pipeline for
+    the miss penalty (stall-on-miss); any exit (side exit, MCB rollback or
+    trace end) runs the exit stub's compensation moves and pays the
+    pipeline-refill penalty.
+
+    Within a bundle all operands read the register state from the start of
+    the cycle (parallel semantics); the instruction scheduler guarantees at
+    least one cycle between a producer and its consumers.
+
+    A load that faults (out-of-range address) is by construction
+    speculative here — architectural loads that fault are executed by the
+    interpreter path — so the fault is deferred in the hardware style of
+    the paper: the load returns 0 and the program state is untouched. The
+    cache is still probed when the address is non-negative, which is
+    exactly the micro-architectural side effect Spectre exploits. Stores
+    are always architectural and propagate {!Gb_riscv.Mem.Fault}. *)
+
+type exit_kind = Fallthrough | Side_exit | Rollback
+
+type exit_info = { next_pc : int; kind : exit_kind }
+
+exception Machine_error of string
+(** Ill-formed trace detected at run time (two control operations in a
+    bundle, duplicate register writes, ...) — indicates a code generator
+    bug, never a guest error. *)
+
+val run : Machine.t -> Vinsn.trace -> exit_info
+(** Execute one pass over the trace, advancing the machine clock. *)

@@ -1,0 +1,82 @@
+(** The VLIW target ISA produced by the DBT engine.
+
+    Registers [0..31] are the guest architectural registers; indices [32+]
+    are {e hidden} registers — scratch space invisible to the guest ISA, the
+    paper's "register not defined in the ISA" used to park speculative
+    results. A translated {!trace} consists of wide {!bundle}s executed one
+    per cycle plus {e exit stubs}: compensation code that commits the
+    architectural register state of an exit point before resuming the
+    guest at [target_pc]. *)
+
+type reg = int
+
+val guest_regs : int
+(** Number of architectural registers (32); hidden registers start here. *)
+
+type operand = R of reg | I of int64
+
+type op =
+  | Nop
+  | Alu of { op : Gb_riscv.Insn.oprr; dst : reg; a : operand; b : operand }
+  | Load of {
+      w : Gb_riscv.Insn.width;
+      unsigned : bool;
+      dst : reg;
+      base : operand;
+      off : int;
+      spec : int option;
+          (** [Some tag]: speculative load that allocates MCB entry [tag]
+              (the paper's distinct opcode for MCB-checked loads) *)
+    }
+  | Store of {
+      w : Gb_riscv.Insn.width;
+      src : operand;
+      base : operand;
+      off : int;
+    }
+  | Branch of {
+      cond : Gb_riscv.Insn.branch_cond;
+      a : operand;
+      b : operand;
+      stub : int;  (** side exit taken when the condition holds *)
+    }
+  | Chk of { tag : int; stub : int }
+      (** MCB check: side exit (rollback) when entry [tag] conflicted *)
+  | Mv of { dst : reg; src : operand }
+  | Rdcycle of { dst : reg }
+  | Cflush of { base : operand; off : int }
+  | Fence  (** scheduling barrier; timing no-op at execution *)
+  | Exit of { stub : int }  (** unconditional end of trace *)
+
+type bundle = op array
+
+type stub = {
+  commits : (reg * operand) list;
+      (** guest register <- operand, applied in order *)
+  target_pc : int;  (** guest pc to resume at *)
+}
+
+(** Per-translation countermeasure / speculation statistics, surfaced by the
+    benchmark harness (experiment E3). *)
+type meta = {
+  spec_loads : int;  (** loads translated as MCB-speculative *)
+  branch_spec_loads : int;  (** loads free to hoist above a branch *)
+  spectre_patterns : int;  (** poisoned-address speculative loads found *)
+  constrained_loads : int;  (** loads de-speculated by the mitigation *)
+  fences_inserted : int;
+}
+
+val empty_meta : meta
+
+type trace = {
+  entry_pc : int;
+  bundles : bundle array;
+  stubs : stub array;
+  n_regs : int;  (** total register file size used (guest + hidden) *)
+  guest_insns : int;  (** guest instructions covered by one pass *)
+  meta : meta;
+}
+
+val pp_op : Format.formatter -> op -> unit
+
+val pp_trace : Format.formatter -> trace -> unit

@@ -1,0 +1,643 @@
+open Gb_kernelc.Dsl
+
+type t = {
+  name : string;
+  description : string;
+  program : Gb_kernelc.Ast.program;
+}
+
+let i64 = Gb_kernelc.Ast.I64
+
+(* Deterministic input patterns (stand-ins for Polybench's init loops). *)
+let pat2 a b i j = ((v i *: c a) +: (v j *: c b)) %: c 13
+
+let pat1 a i = ((v i *: c a) +: c 1) %: c 11
+
+let init2 name n m f =
+  for_ "ii" (c 0) (c n) [ for_ "jj" (c 0) (c m) [ (name, [ v "ii"; v "jj" ]) <-: f "ii" "jj" ] ]
+
+let init1 name n f = for_ "ii" (c 0) (c n) [ (name, [ v "ii" ]) <-: f "ii" ]
+
+(* Fold a checksum over arrays (1-D or 2-D); the exit code is its low
+   byte. *)
+let checksum_stmts specs =
+  let_ "cks" (c 0)
+  :: List.concat_map
+       (fun (name, dims) ->
+         match dims with
+         | [ n ] ->
+           [ for_ "ci" (c 0) (c n)
+               [ set "cks" ((v "cks" *: c 33) +: arr name [ v "ci" ]) ] ]
+         | [ n; m ] ->
+           [ for_ "ci" (c 0) (c n)
+               [ for_ "cj" (c 0) (c m)
+                   [ set "cks" ((v "cks" *: c 33) +: arr name [ v "ci"; v "cj" ]) ] ] ]
+         | [ n; m; p ] ->
+           [ for_ "ci" (c 0) (c n)
+               [ for_ "cj" (c 0) (c m)
+                   [ for_ "ck" (c 0) (c p)
+                       [ set "cks"
+                           ((v "cks" *: c 33) +: arr name [ v "ci"; v "cj"; v "ck" ]) ] ] ] ]
+         | _ -> invalid_arg "checksum_stmts: unsupported rank")
+       specs
+
+let mk name description arrays body outputs =
+  { name; description;
+    program =
+      { Gb_kernelc.Ast.arrays; body = body @ checksum_stmts outputs;
+        result = v "cks" } }
+
+(* C = 2*A*B + 3*C *)
+let gemm =
+  let n = 20 in
+  mk "gemm" "matrix multiply and accumulate"
+    [ array "A" i64 [ n; n ]; array "B" i64 [ n; n ]; array "C" i64 [ n; n ] ]
+    [
+      init2 "A" n n (pat2 7 3);
+      init2 "B" n n (pat2 11 5);
+      init2 "C" n n (pat2 2 9);
+      for_ "i" (c 0) (c n)
+        [
+          for_ "j" (c 0) (c n)
+            [
+              let_ "acc" (c 0);
+              for_ "k" (c 0) (c n)
+                [ set "acc" (v "acc" +: (arr "A" [ v "i"; v "k" ] *: arr "B" [ v "k"; v "j" ])) ];
+              ("C", [ v "i"; v "j" ]) <-:
+                ((c 2 *: v "acc") +: (c 3 *: arr "C" [ v "i"; v "j" ]));
+            ];
+        ];
+    ]
+    [ ("C", [ n; n ]) ]
+
+let plain_matmul dst a b n =
+  for_ "i" (c 0) (c n)
+    [
+      for_ "j" (c 0) (c n)
+        [
+          let_ "acc" (c 0);
+          for_ "k" (c 0) (c n)
+            [ set "acc" (v "acc" +: (arr a [ v "i"; v "k" ] *: arr b [ v "k"; v "j" ])) ];
+          (dst, [ v "i"; v "j" ]) <-: v "acc";
+        ];
+    ]
+
+(* tmp = A*B; D = tmp*C *)
+let two_mm =
+  let n = 16 in
+  mk "2mm" "two chained matrix multiplies"
+    [ array "A" i64 [ n; n ]; array "B" i64 [ n; n ]; array "C" i64 [ n; n ];
+      array "tmp" i64 [ n; n ]; array "D" i64 [ n; n ] ]
+    [
+      init2 "A" n n (pat2 7 3);
+      init2 "B" n n (pat2 11 5);
+      init2 "C" n n (pat2 2 9);
+      plain_matmul "tmp" "A" "B" n;
+      plain_matmul "D" "tmp" "C" n;
+    ]
+    [ ("D", [ n; n ]) ]
+
+(* E = A*B; F = C*D; G = E*F *)
+let three_mm =
+  let n = 14 in
+  mk "3mm" "three chained matrix multiplies"
+    [ array "A" i64 [ n; n ]; array "B" i64 [ n; n ]; array "C" i64 [ n; n ];
+      array "D" i64 [ n; n ]; array "E" i64 [ n; n ]; array "F" i64 [ n; n ];
+      array "G" i64 [ n; n ] ]
+    [
+      init2 "A" n n (pat2 7 3);
+      init2 "B" n n (pat2 11 5);
+      init2 "C" n n (pat2 2 9);
+      init2 "D" n n (pat2 5 7);
+      plain_matmul "E" "A" "B" n;
+      plain_matmul "F" "C" "D" n;
+      plain_matmul "G" "E" "F" n;
+    ]
+    [ ("G", [ n; n ]) ]
+
+(* y = A^T (A x) *)
+let atax =
+  let n = 28 in
+  mk "atax" "matrix transpose-vector product"
+    [ array "A" i64 [ n; n ]; array "x" i64 [ n ]; array "tmp" i64 [ n ];
+      array "y" i64 [ n ] ]
+    [
+      init2 "A" n n (pat2 7 3);
+      init1 "x" n (pat1 5);
+      init1 "y" n (fun _ -> c 0);
+      for_ "i" (c 0) (c n)
+        [
+          let_ "acc" (c 0);
+          for_ "j" (c 0) (c n)
+            [ set "acc" (v "acc" +: (arr "A" [ v "i"; v "j" ] *: arr "x" [ v "j" ])) ];
+          ("tmp", [ v "i" ]) <-: v "acc";
+        ];
+      for_ "i" (c 0) (c n)
+        [
+          for_ "j" (c 0) (c n)
+            [
+              ("y", [ v "j" ]) <-:
+                (arr "y" [ v "j" ] +: (arr "A" [ v "i"; v "j" ] *: arr "tmp" [ v "i" ]));
+            ];
+        ];
+    ]
+    [ ("y", [ n ]) ]
+
+(* s = A^T r ; q = A p *)
+let bicg =
+  let n = 28 in
+  mk "bicg" "BiCG sub-kernel"
+    [ array "A" i64 [ n; n ]; array "r" i64 [ n ]; array "p" i64 [ n ];
+      array "s" i64 [ n ]; array "q" i64 [ n ] ]
+    [
+      init2 "A" n n (pat2 7 3);
+      init1 "r" n (pat1 5);
+      init1 "p" n (pat1 7);
+      init1 "s" n (fun _ -> c 0);
+      for_ "i" (c 0) (c n)
+        [
+          let_ "acc" (c 0);
+          for_ "j" (c 0) (c n)
+            [
+              ("s", [ v "j" ]) <-:
+                (arr "s" [ v "j" ] +: (arr "r" [ v "i" ] *: arr "A" [ v "i"; v "j" ]));
+              set "acc" (v "acc" +: (arr "A" [ v "i"; v "j" ] *: arr "p" [ v "j" ]));
+            ];
+          ("q", [ v "i" ]) <-: v "acc";
+        ];
+    ]
+    [ ("s", [ n ]); ("q", [ n ]) ]
+
+(* x1 += A y1 ; x2 += A^T y2 *)
+let mvt =
+  let n = 28 in
+  mk "mvt" "matrix-vector product and transpose"
+    [ array "A" i64 [ n; n ]; array "x1" i64 [ n ]; array "x2" i64 [ n ];
+      array "y1" i64 [ n ]; array "y2" i64 [ n ] ]
+    [
+      init2 "A" n n (pat2 7 3);
+      init1 "x1" n (pat1 3);
+      init1 "x2" n (pat1 5);
+      init1 "y1" n (pat1 7);
+      init1 "y2" n (pat1 9);
+      for_ "i" (c 0) (c n)
+        [
+          let_ "acc" (arr "x1" [ v "i" ]);
+          for_ "j" (c 0) (c n)
+            [ set "acc" (v "acc" +: (arr "A" [ v "i"; v "j" ] *: arr "y1" [ v "j" ])) ];
+          ("x1", [ v "i" ]) <-: v "acc";
+        ];
+      for_ "i" (c 0) (c n)
+        [
+          let_ "acc" (arr "x2" [ v "i" ]);
+          for_ "j" (c 0) (c n)
+            [ set "acc" (v "acc" +: (arr "A" [ v "j"; v "i" ] *: arr "y2" [ v "j" ])) ];
+          ("x2", [ v "i" ]) <-: v "acc";
+        ];
+    ]
+    [ ("x1", [ n ]); ("x2", [ n ]) ]
+
+(* y = 3*A*x + 2*B*x *)
+let gesummv =
+  let n = 28 in
+  mk "gesummv" "scalar, vector and matrix multiplication"
+    [ array "A" i64 [ n; n ]; array "B" i64 [ n; n ]; array "x" i64 [ n ];
+      array "y" i64 [ n ] ]
+    [
+      init2 "A" n n (pat2 7 3);
+      init2 "B" n n (pat2 11 5);
+      init1 "x" n (pat1 5);
+      for_ "i" (c 0) (c n)
+        [
+          let_ "ta" (c 0);
+          let_ "tb" (c 0);
+          for_ "j" (c 0) (c n)
+            [
+              set "ta" (v "ta" +: (arr "A" [ v "i"; v "j" ] *: arr "x" [ v "j" ]));
+              set "tb" (v "tb" +: (arr "B" [ v "i"; v "j" ] *: arr "x" [ v "j" ]));
+            ];
+          ("y", [ v "i" ]) <-: ((c 3 *: v "ta") +: (c 2 *: v "tb"));
+        ];
+    ]
+    [ ("y", [ n ]) ]
+
+(* A[r][q][*] = A[r][q][*] . C4 *)
+let doitgen =
+  let n = 10 in
+  mk "doitgen" "multiresolution analysis kernel"
+    [ array "A" i64 [ n; n; n ]; array "C4" i64 [ n; n ]; array "sum" i64 [ n ] ]
+    [
+      for_ "r" (c 0) (c n)
+        [ for_ "q" (c 0) (c n)
+            [ for_ "p" (c 0) (c n)
+                [ ("A", [ v "r"; v "q"; v "p" ]) <-:
+                    (((v "r" *: c 3) +: (v "q" *: c 5) +: v "p") %: c 13) ] ] ];
+      init2 "C4" n n (pat2 7 3);
+      for_ "r" (c 0) (c n)
+        [
+          for_ "q" (c 0) (c n)
+            [
+              for_ "p" (c 0) (c n)
+                [
+                  let_ "acc" (c 0);
+                  for_ "s" (c 0) (c n)
+                    [ set "acc" (v "acc" +: (arr "A" [ v "r"; v "q"; v "s" ] *: arr "C4" [ v "s"; v "p" ])) ];
+                  ("sum", [ v "p" ]) <-: v "acc";
+                ];
+              for_ "p" (c 0) (c n)
+                [ ("A", [ v "r"; v "q"; v "p" ]) <-: arr "sum" [ v "p" ] ];
+            ];
+        ];
+    ]
+    [ ("A", [ n; n; n ]) ]
+
+(* B = A * B with A lower-triangular (unit diagonal) *)
+let trmm =
+  let n = 20 in
+  mk "trmm" "triangular matrix multiply"
+    [ array "A" i64 [ n; n ]; array "B" i64 [ n; n ] ]
+    [
+      init2 "A" n n (pat2 7 3);
+      init2 "B" n n (pat2 11 5);
+      for_ "i" (c 0) (c n)
+        [
+          for_ "j" (c 0) (c n)
+            [
+              let_ "acc" (arr "B" [ v "i"; v "j" ]);
+              for_ "k" (v "i" +: c 1) (c n)
+                [ set "acc" (v "acc" +: (arr "A" [ v "k"; v "i" ] *: arr "B" [ v "k"; v "j" ])) ];
+              ("B", [ v "i"; v "j" ]) <-: v "acc";
+            ];
+        ];
+    ]
+    [ ("B", [ n; n ]) ]
+
+(* C = 2*A*A^T + 3*C *)
+let syrk =
+  let n = 18 in
+  mk "syrk" "symmetric rank-k update"
+    [ array "A" i64 [ n; n ]; array "C" i64 [ n; n ] ]
+    [
+      init2 "A" n n (pat2 7 3);
+      init2 "C" n n (pat2 2 9);
+      for_ "i" (c 0) (c n)
+        [
+          for_ "j" (c 0) (c n)
+            [
+              let_ "acc" (c 0);
+              for_ "k" (c 0) (c n)
+                [ set "acc" (v "acc" +: (arr "A" [ v "i"; v "k" ] *: arr "A" [ v "j"; v "k" ])) ];
+              ("C", [ v "i"; v "j" ]) <-:
+                ((c 2 *: v "acc") +: (c 3 *: arr "C" [ v "i"; v "j" ]));
+            ];
+        ];
+    ]
+    [ ("C", [ n; n ]) ]
+
+(* t steps of the 3-point stencil *)
+let jacobi_1d =
+  let n = 240 in
+  let steps = 20 in
+  mk "jacobi-1d" "1-D Jacobi stencil"
+    [ array "A" i64 [ n ]; array "B" i64 [ n ] ]
+    [
+      init1 "A" n (pat1 7);
+      init1 "B" n (pat1 3);
+      for_ "t" (c 0) (c steps)
+        [
+          for_ "i" (c 1) (c (n - 1))
+            [ ("B", [ v "i" ]) <-:
+                ((arr "A" [ v "i" -: c 1 ] +: arr "A" [ v "i" ] +: arr "A" [ v "i" +: c 1 ]) /: c 3) ];
+          for_ "i" (c 1) (c (n - 1))
+            [ ("A", [ v "i" ]) <-:
+                ((arr "B" [ v "i" -: c 1 ] +: arr "B" [ v "i" ] +: arr "B" [ v "i" +: c 1 ]) /: c 3) ];
+        ];
+    ]
+    [ ("A", [ n ]) ]
+
+(* t steps of the 5-point stencil *)
+let jacobi_2d =
+  let n = 22 in
+  let steps = 8 in
+  mk "jacobi-2d" "2-D Jacobi stencil"
+    [ array "A" i64 [ n; n ]; array "B" i64 [ n; n ] ]
+    [
+      init2 "A" n n (pat2 7 3);
+      init2 "B" n n (pat2 11 5);
+      (let stencil src dst =
+         (* accumulate through a scalar to keep expression depth low *)
+         for_ "i" (c 1) (c (n - 1))
+           [ for_ "j" (c 1) (c (n - 1))
+               [
+                 let_ "s" (arr src [ v "i"; v "j" ] +: arr src [ v "i"; v "j" -: c 1 ]);
+                 set "s" (v "s" +: arr src [ v "i"; v "j" +: c 1 ]);
+                 set "s" (v "s" +: arr src [ v "i" +: c 1; v "j" ]);
+                 set "s" (v "s" +: arr src [ v "i" -: c 1; v "j" ]);
+                 (dst, [ v "i"; v "j" ]) <-: (v "s" /: c 5);
+               ] ]
+       in
+       for_ "t" (c 0) (c steps) [ stencil "A" "B"; stencil "B" "A" ]);
+    ]
+    [ ("A", [ n; n ]) ]
+
+(* C = 2*(A*B^T + B*A^T) + 3*C *)
+let syr2k =
+  let n = 16 in
+  mk "syr2k" "symmetric rank-2k update"
+    [ array "A" i64 [ n; n ]; array "B" i64 [ n; n ]; array "C" i64 [ n; n ] ]
+    [
+      init2 "A" n n (pat2 7 3);
+      init2 "B" n n (pat2 11 5);
+      init2 "C" n n (pat2 2 9);
+      for_ "i" (c 0) (c n)
+        [
+          for_ "j" (c 0) (c n)
+            [
+              let_ "acc" (c 0);
+              for_ "k" (c 0) (c n)
+                [
+                  set "acc"
+                    (v "acc" +: (arr "A" [ v "i"; v "k" ] *: arr "B" [ v "j"; v "k" ]));
+                  set "acc"
+                    (v "acc" +: (arr "B" [ v "i"; v "k" ] *: arr "A" [ v "j"; v "k" ]));
+                ];
+              ("C", [ v "i"; v "j" ]) <-:
+                ((c 2 *: v "acc") +: (c 3 *: arr "C" [ v "i"; v "j" ]));
+            ];
+        ];
+    ]
+    [ ("C", [ n; n ]) ]
+
+(* B = A + u1*v1^T + u2*v2^T ; x = B^T y ; w = B x *)
+let gemver =
+  let n = 24 in
+  mk "gemver" "vector multiplication and matrix addition"
+    [ array "A" i64 [ n; n ]; array "u1" i64 [ n ]; array "v1" i64 [ n ];
+      array "u2" i64 [ n ]; array "v2" i64 [ n ]; array "x" i64 [ n ];
+      array "y" i64 [ n ]; array "w" i64 [ n ] ]
+    [
+      init2 "A" n n (pat2 7 3);
+      init1 "u1" n (pat1 3);
+      init1 "v1" n (pat1 5);
+      init1 "u2" n (pat1 7);
+      init1 "v2" n (pat1 9);
+      init1 "y" n (pat1 2);
+      init1 "x" n (fun _ -> c 0);
+      for_ "i" (c 0) (c n)
+        [
+          for_ "j" (c 0) (c n)
+            [
+              let_ "upd"
+                (arr "A" [ v "i"; v "j" ]
+                +: (arr "u1" [ v "i" ] *: arr "v1" [ v "j" ]));
+              ("A", [ v "i"; v "j" ]) <-:
+                (v "upd" +: (arr "u2" [ v "i" ] *: arr "v2" [ v "j" ]));
+            ];
+        ];
+      for_ "i" (c 0) (c n)
+        [
+          let_ "acc" (arr "x" [ v "i" ]);
+          for_ "j" (c 0) (c n)
+            [ set "acc" (v "acc" +: (arr "A" [ v "j"; v "i" ] *: arr "y" [ v "j" ])) ];
+          ("x", [ v "i" ]) <-: v "acc";
+        ];
+      for_ "i" (c 0) (c n)
+        [
+          let_ "acc" (c 0);
+          for_ "j" (c 0) (c n)
+            [ set "acc" (v "acc" +: (arr "A" [ v "i"; v "j" ] *: arr "x" [ v "j" ])) ];
+          ("w", [ v "i" ]) <-: v "acc";
+        ];
+    ]
+    [ ("w", [ n ]); ("x", [ n ]) ]
+
+(* C = A*B + B*C' with A symmetric (only the lower triangle stored) *)
+let symm =
+  let n = 16 in
+  mk "symm" "symmetric matrix multiply"
+    [ array "A" i64 [ n; n ]; array "B" i64 [ n; n ]; array "C" i64 [ n; n ] ]
+    [
+      init2 "A" n n (pat2 7 3);
+      init2 "B" n n (pat2 11 5);
+      init2 "C" n n (pat2 2 9);
+      for_ "i" (c 0) (c n)
+        [
+          for_ "j" (c 0) (c n)
+            [
+              let_ "acc" (c 0);
+              for_ "k" (c 0) (v "i")
+                [
+                  ("C", [ v "k"; v "j" ]) <-:
+                    (arr "C" [ v "k"; v "j" ]
+                    +: (arr "B" [ v "i"; v "j" ] *: arr "A" [ v "i"; v "k" ]));
+                  set "acc"
+                    (v "acc" +: (arr "B" [ v "k"; v "j" ] *: arr "A" [ v "i"; v "k" ]));
+                ];
+              ("C", [ v "i"; v "j" ]) <-:
+                ((c 2 *: arr "C" [ v "i"; v "j" ])
+                +: (arr "B" [ v "i"; v "j" ] *: arr "A" [ v "i"; v "i" ])
+                +: v "acc");
+            ];
+        ];
+    ]
+    [ ("C", [ n; n ]) ]
+
+(* t steps of the in-place 9-point averaging stencil (loop-carried) *)
+let seidel_2d =
+  let n = 20 in
+  let steps = 6 in
+  mk "seidel-2d" "2-D Gauss-Seidel stencil"
+    [ array "A" i64 [ n; n ] ]
+    [
+      init2 "A" n n (pat2 7 3);
+      for_ "t" (c 0) (c steps)
+        [
+          for_ "i" (c 1) (c (n - 1))
+            [
+              for_ "j" (c 1) (c (n - 1))
+                [
+                  let_ "s"
+                    (arr "A" [ v "i" -: c 1; v "j" -: c 1 ]
+                    +: arr "A" [ v "i" -: c 1; v "j" ]);
+                  set "s" (v "s" +: arr "A" [ v "i" -: c 1; v "j" +: c 1 ]);
+                  set "s" (v "s" +: arr "A" [ v "i"; v "j" -: c 1 ]);
+                  set "s" (v "s" +: arr "A" [ v "i"; v "j" ]);
+                  set "s" (v "s" +: arr "A" [ v "i"; v "j" +: c 1 ]);
+                  set "s" (v "s" +: arr "A" [ v "i" +: c 1; v "j" -: c 1 ]);
+                  set "s" (v "s" +: arr "A" [ v "i" +: c 1; v "j" ]);
+                  set "s" (v "s" +: arr "A" [ v "i" +: c 1; v "j" +: c 1 ]);
+                  ("A", [ v "i"; v "j" ]) <-: (v "s" /: c 9);
+                ];
+            ];
+        ];
+    ]
+    [ ("A", [ n; n ]) ]
+
+(* All-pairs shortest paths with a branchless min *)
+let floyd_warshall =
+  let n = 14 in
+  mk "floyd-warshall" "all-pairs shortest paths"
+    [ array "D" i64 [ n; n ] ]
+    [
+      for_ "i" (c 0) (c n)
+        [
+          for_ "j" (c 0) (c n)
+            [
+              ("D", [ v "i"; v "j" ]) <-:
+                (((v "i" *: c 13) +: (v "j" *: c 7)) %: c 97) +: c 1;
+            ];
+        ];
+      for_ "k" (c 0) (c n)
+        [
+          for_ "i" (c 0) (c n)
+            [
+              for_ "j" (c 0) (c n)
+                [
+                  let_ "via" (arr "D" [ v "i"; v "k" ] +: arr "D" [ v "k"; v "j" ]);
+                  let_ "cur" (arr "D" [ v "i"; v "j" ]);
+                  let_ "lt" (v "via" <: v "cur");
+                  ("D", [ v "i"; v "j" ]) <-:
+                    ((v "lt" *: v "via") +: ((c 1 -: v "lt") *: v "cur"));
+                ];
+            ];
+        ];
+    ]
+    [ ("D", [ n; n ]) ]
+
+(* t steps of the 7-point 3-D stencil *)
+let heat_3d =
+  let n = 10 in
+  let steps = 6 in
+  let stencil src dst =
+    for_ "i" (c 1) (c (n - 1))
+      [
+        for_ "j" (c 1) (c (n - 1))
+          [
+            for_ "k" (c 1) (c (n - 1))
+              [
+                let_ "s"
+                  (arr src [ v "i"; v "j"; v "k" ]
+                  +: arr src [ v "i" -: c 1; v "j"; v "k" ]);
+                set "s" (v "s" +: arr src [ v "i" +: c 1; v "j"; v "k" ]);
+                set "s" (v "s" +: arr src [ v "i"; v "j" -: c 1; v "k" ]);
+                set "s" (v "s" +: arr src [ v "i"; v "j" +: c 1; v "k" ]);
+                set "s" (v "s" +: arr src [ v "i"; v "j"; v "k" -: c 1 ]);
+                set "s" (v "s" +: arr src [ v "i"; v "j"; v "k" +: c 1 ]);
+                (dst, [ v "i"; v "j"; v "k" ]) <-: (v "s" /: c 7);
+              ];
+          ];
+      ]
+  in
+  mk "heat-3d" "3-D heat equation stencil"
+    [ array "A" i64 [ n; n; n ]; array "B" i64 [ n; n; n ] ]
+    [
+      for_ "i" (c 0) (c n)
+        [ for_ "j" (c 0) (c n)
+            [ for_ "k" (c 0) (c n)
+                [ ("A", [ v "i"; v "j"; v "k" ]) <-:
+                    (((v "i" *: c 7) +: (v "j" *: c 5) +: (v "k" *: c 3)) %: c 13) ] ] ];
+      for_ "t" (c 0) (c steps) [ stencil "A" "B"; stencil "B" "A" ];
+    ]
+    [ ("A", [ n; n; n ]) ]
+
+(* RNA folding dynamic program (triangular loops, branchless max):
+   N[i][j] = max(N[i+1][j], N[i][j-1], N[i+1][j-1] + pair(i,j),
+                 max over i<k<j of N[i][k] + N[k+1][j]) *)
+let nussinov =
+  let n = 20 in
+  (* dst := max dst e, with arithmetic only (no data-dependent branch);
+     [idx] makes the temporaries unique within a scope *)
+  let max_into idx dst e =
+    let cand = Printf.sprintf "cand%d" idx and lt = Printf.sprintf "lt%d" idx in
+    [
+      Gb_kernelc.Ast.Let (cand, e);
+      Gb_kernelc.Ast.Let (lt, v dst <: v cand);
+      set dst ((v lt *: v cand) +: ((c 1 -: v lt) *: v dst));
+    ]
+  in
+  mk "nussinov" "RNA base-pairing dynamic program"
+    [ array "seq" i64 [ n ]; array "N" i64 [ n; n ] ]
+    [
+      for_ "i" (c 0) (c n) [ ("seq", [ v "i" ]) <-: ((v "i" *: c 5) %: c 4) ];
+      for_ "ii" (c 1) (c n)
+        [
+          (* anti-diagonal order: i = n-1-ii *)
+          let_ "i" (c (n - 1) -: v "ii");
+          for_ "j" (v "i" +: c 1) (c n)
+            ([ let_ "best" (arr "N" [ v "i"; v "j" -: c 1 ]) ]
+            @ max_into 1 "best" (arr "N" [ v "i" +: c 1; v "j" ])
+            @ [
+                (* pairing i with j contributes 1 when bases complement *)
+                let_ "pair"
+                  (Gb_kernelc.Ast.Bin
+                     ( Gb_kernelc.Ast.Eq,
+                       arr "seq" [ v "i" ] +: arr "seq" [ v "j" ],
+                       c 3 ));
+              ]
+            @ max_into 2 "best"
+                (arr "N" [ v "i" +: c 1; v "j" -: c 1 ] +: v "pair")
+            @ [
+                for_ "k" (v "i" +: c 1) (v "j")
+                  (max_into 3 "best"
+                     (arr "N" [ v "i"; v "k" ] +: arr "N" [ v "k" +: c 1; v "j" ]));
+                ("N", [ v "i"; v "j" ]) <-: v "best";
+              ]);
+        ];
+    ]
+    [ ("N", [ n; n ]) ]
+
+let all =
+  [ gemm; two_mm; three_mm; atax; bicg; mvt; gesummv; doitgen; trmm; syrk;
+    syr2k; gemver; symm; jacobi_1d; jacobi_2d; seidel_2d; floyd_warshall;
+    heat_3d; nussinov ]
+
+(* §V-B: 2-D matrices represented as arrays of row pointers, so every
+   element access is a double indirection — the address of the inner load
+   depends on a loaded value, which is the Spectre pattern the poisoning
+   analysis reacts to. *)
+let matmul_ptr =
+  let n = 16 in
+  let row m i = arr (m ^ "_rows") [ v i ] in
+  let elem m i j = Gb_kernelc.Ast.Mem (i64, row m i +: (v j <<: c 3)) in
+  let store_elem m i j value =
+    Gb_kernelc.Ast.Mem_store (i64, row m i +: (v j <<: c 3), value)
+  in
+  let data m = m ^ "_data" in
+  let arrays =
+    List.concat_map
+      (fun m -> [ array (m ^ "_rows") i64 [ n ]; array (data m) i64 [ n; n ] ])
+      [ "A"; "B"; "C" ]
+  in
+  let setup_rows m =
+    for_ "i" (c 0) (c n)
+      [ (m ^ "_rows", [ v "i" ]) <-: Gb_kernelc.Ast.Addr_of (data m, [ v "i"; c 0 ]) ]
+  in
+  {
+    name = "matmul-ptr";
+    description = "matrix multiply over arrays of row pointers (double indirection)";
+    program =
+      {
+        Gb_kernelc.Ast.arrays;
+        body =
+          List.map setup_rows [ "A"; "B"; "C" ]
+          @ [
+              init2 (data "A") n n (pat2 7 3);
+              init2 (data "B") n n (pat2 11 5);
+              for_ "i" (c 0) (c n)
+                [
+                  for_ "j" (c 0) (c n)
+                    [
+                      let_ "acc" (c 0);
+                      for_ "k" (c 0) (c n)
+                        [ set "acc" (v "acc" +: (elem "A" "i" "k" *: elem "B" "k" "j")) ];
+                      store_elem "C" "i" "j" (v "acc");
+                    ];
+                ];
+            ]
+          @ checksum_stmts [ (data "C", [ n; n ]) ];
+        result = v "cks";
+      };
+  }
+
+let by_name name =
+  List.find_opt (fun w -> w.name = name) (matmul_ptr :: all)

@@ -1,0 +1,27 @@
+(** Integer ports of the Polybench kernels the paper's Figure 4 evaluates,
+    written in the kernel DSL, plus the §V-B pointer-array matrix multiply.
+
+    Every workload deterministically initialises its inputs, runs the
+    kernel, and exits with a checksum of the outputs — so a single exit
+    code validates architectural correctness across all processor
+    configurations. The original Polybench kernels are floating-point;
+    integer arithmetic preserves the loop nests, dependence structure and
+    memory access patterns, which is what the DBT optimizer and the
+    countermeasure react to. *)
+
+type t = {
+  name : string;
+  description : string;
+  program : Gb_kernelc.Ast.program;
+}
+
+val all : t list
+(** The nineteen Figure-4-style kernels. *)
+
+val matmul_ptr : t
+(** Matrix multiply over arrays of row pointers (double indirection on
+    every element access) — the §V-B stress case where the Spectre
+    pattern occurs frequently. *)
+
+val by_name : string -> t option
+(** Looks up [all] plus [matmul_ptr]. *)

@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Array Gb_attack Gb_cache Gb_core Gb_dbt Gb_system Int64 List Printf

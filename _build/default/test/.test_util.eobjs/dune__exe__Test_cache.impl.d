@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Gb_cache Gen List QCheck QCheck_alcotest

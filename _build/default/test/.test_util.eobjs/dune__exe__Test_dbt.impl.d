@@ -1,0 +1,1 @@
+test/test_dbt.ml: Alcotest Array Asm Gb_cache Gb_core Gb_dbt Gb_ir Gb_riscv Gb_vliw Insn Int64 List Option QCheck QCheck_alcotest Reg

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Gb_attack Gb_core Gb_dbt Gb_experiments Gb_kernelc Gb_system Gb_workloads Int64 List Option

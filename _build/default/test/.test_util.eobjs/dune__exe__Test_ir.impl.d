@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Gb_core Gb_ir Gb_riscv List QCheck QCheck_alcotest String

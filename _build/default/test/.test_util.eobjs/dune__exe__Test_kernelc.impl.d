@@ -1,0 +1,1 @@
+test/test_kernelc.ml: Alcotest Buffer Fun Gb_kernelc Gb_riscv Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_riscv.ml: Alcotest Array Asm Buffer Disasm Gb_riscv Gen Insn Int64 Interp List Mem QCheck QCheck_alcotest Reg String

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Asm Gb_core Gb_dbt Gb_kernelc Gb_riscv Gb_system Gb_util Int64 List Printf QCheck QCheck_alcotest Reg String

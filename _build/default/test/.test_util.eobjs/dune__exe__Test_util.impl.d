@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gb_util Gen Int64 List QCheck QCheck_alcotest Seq String

@@ -1,0 +1,1 @@
+test/test_vliw.ml: Alcotest Array Gb_cache Gb_riscv Gb_vliw Int64 List

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Gb_core Gb_kernelc Gb_riscv Gb_system Gb_workloads Int64 List Printf

@@ -1,0 +1,171 @@
+(* Tests for the experiment drivers: the paper-facing results must have the
+   documented shape (these are the assertions EXPERIMENTS.md relies on). *)
+
+let e1_shape () =
+  let rows = Gb_experiments.Experiments.e1_poc_matrix ~secret:"GB" () in
+  Alcotest.(check int) "2 variants x 4 modes" 8 (List.length rows);
+  List.iter
+    (fun (r : Gb_experiments.Experiments.poc_row) ->
+      let ok = Gb_attack.Runner.succeeded r.Gb_experiments.Experiments.outcome in
+      match r.Gb_experiments.Experiments.mode with
+      | Gb_core.Mitigation.Unsafe ->
+        Alcotest.(check bool)
+          (r.Gb_experiments.Experiments.variant ^ " leaks when unsafe")
+          true ok
+      | Gb_core.Mitigation.Fine_grained | Gb_core.Mitigation.Fence_on_detect
+      | Gb_core.Mitigation.No_speculation ->
+        Alcotest.(check int)
+          (r.Gb_experiments.Experiments.variant ^ " safe under mitigation")
+          0
+          r.Gb_experiments.Experiments.outcome.Gb_attack.Runner.correct_bytes)
+    rows
+
+let figure4_shape () =
+  (* use three kernels directly (the full 17-kernel sweep runs in bench) *)
+  let rows =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun (w : Gb_workloads.Polybench.t) ->
+            Gb_experiments.Experiments.measure_program ~name
+              w.Gb_workloads.Polybench.program)
+          (Gb_workloads.Polybench.by_name name))
+      [ "gemm"; "bicg"; "jacobi-2d" ]
+  in
+  Alcotest.(check int) "all kernels measured" 3 (List.length rows);
+  List.iter
+    (fun mc ->
+      let fine =
+        Gb_experiments.Experiments.slowdown mc
+          ~mode:Gb_core.Mitigation.Fine_grained
+      in
+      let nospec =
+        Gb_experiments.Experiments.slowdown mc
+          ~mode:Gb_core.Mitigation.No_speculation
+      in
+      Alcotest.(check bool)
+        (mc.Gb_experiments.Experiments.w_name ^ ": fine-grained is free") true
+        (fine < 1.01);
+      Alcotest.(check bool)
+        (mc.Gb_experiments.Experiments.w_name ^ ": no-spec costs") true
+        (nospec > 1.02);
+      Alcotest.(check int)
+        (mc.Gb_experiments.Experiments.w_name ^ ": no patterns")
+        0 mc.Gb_experiments.Experiments.patterns)
+    rows
+
+let e4_shape () =
+  let mc = Gb_experiments.Experiments.e4_matmul_ablation () in
+  let fine =
+    Gb_experiments.Experiments.slowdown mc ~mode:Gb_core.Mitigation.Fine_grained
+  in
+  let fence =
+    Gb_experiments.Experiments.slowdown mc
+      ~mode:Gb_core.Mitigation.Fence_on_detect
+  in
+  Alcotest.(check bool) "patterns fire" true
+    (mc.Gb_experiments.Experiments.patterns > 0);
+  Alcotest.(check bool) "fine-grained pays something" true (fine > 1.02);
+  Alcotest.(check bool) "fine-grained beats the fence" true (fine < fence)
+
+let e5_shape () =
+  let lat = Gb_experiments.Experiments.e5_hit_miss () in
+  let hot = Gb_experiments.Experiments.e5_hot_candidates in
+  let fast =
+    Array.to_list lat
+    |> List.mapi (fun i t -> (i, t))
+    |> List.filter (fun (_, t) -> t < Gb_attack.Side_channel.hit_threshold)
+    |> List.map fst
+  in
+  Alcotest.(check (list int)) "exactly the hot candidates are fast"
+    (List.sort compare hot) (List.sort compare fast)
+
+let mcb_ablation_shape () =
+  let rows = Gb_experiments.Ablations.mcb_size () in
+  let find value =
+    List.find
+      (fun (r : Gb_experiments.Ablations.row) ->
+        r.Gb_experiments.Ablations.value = value)
+      rows
+  in
+  Alcotest.(check bool) "no MCB => no v4" false
+    (find "0").Gb_experiments.Ablations.v4_leaks;
+  Alcotest.(check bool) "no MCB still leaks v1" true
+    (find "0").Gb_experiments.Ablations.v1_leaks;
+  Alcotest.(check bool) "8 entries => v4 works" true
+    (find "8").Gb_experiments.Ablations.v4_leaks
+
+let adaptive_despec_shape () =
+  let rows = Gb_experiments.Ablations.adaptive_despec () in
+  let find value =
+    List.find
+      (fun (r : Gb_experiments.Ablations.row) ->
+        r.Gb_experiments.Ablations.value = value)
+      rows
+  in
+  let off = find "off" and on = find "on" in
+  (* conflict-driven de-speculation repairs the misspeculating kernel *)
+  Alcotest.(check bool) "nussinov gets faster" true
+    (Int64.compare on.Gb_experiments.Ablations.unsafe_cycles
+       off.Gb_experiments.Ablations.unsafe_cycles
+    < 0);
+  (* ... and starves the v4 gadget as a side effect *)
+  Alcotest.(check bool) "v4 leaks without it" true
+    off.Gb_experiments.Ablations.v4_leaks;
+  Alcotest.(check bool) "v4 throttled with it" false
+    on.Gb_experiments.Ablations.v4_leaks;
+  Alcotest.(check bool) "v1 unaffected" true
+    on.Gb_experiments.Ablations.v1_leaks
+
+let adaptive_despec_is_architecturally_safe () =
+  (* de-speculated retranslation must preserve results *)
+  match Gb_workloads.Polybench.by_name "nussinov" with
+  | None -> Alcotest.fail "nussinov missing"
+  | Some w ->
+    let asm = Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program in
+    let base = Gb_system.Processor.config_for Gb_core.Mitigation.Unsafe in
+    let adaptive =
+      {
+        base with
+        Gb_system.Processor.engine =
+          { base.Gb_system.Processor.engine with Gb_dbt.Engine.adaptive_despec = true };
+      }
+    in
+    let off = Gb_system.Processor.run_program ~config:base asm in
+    let on = Gb_system.Processor.run_program ~config:adaptive asm in
+    Alcotest.(check int) "same checksum" off.Gb_system.Processor.exit_code
+      on.Gb_system.Processor.exit_code
+
+let unroll_ablation_shape () =
+  let rows = Gb_experiments.Ablations.unroll_limit () in
+  let slow_of value =
+    (List.find
+       (fun (r : Gb_experiments.Ablations.row) ->
+         r.Gb_experiments.Ablations.value = value)
+       rows)
+      .Gb_experiments.Ablations.no_spec_slowdown
+  in
+  (* without unrolling there is little cross-iteration speculation to
+     lose, so "no speculation" costs much less than with unrolling *)
+  Alcotest.(check bool) "unrolling amplifies the speculation benefit" true
+    (slow_of "1" < slow_of "4")
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "paper-shapes",
+        [
+          Alcotest.test_case "E1 matrix" `Quick e1_shape;
+          Alcotest.test_case "Figure 4 shape" `Quick figure4_shape;
+          Alcotest.test_case "E4 matmul-ptr" `Quick e4_shape;
+          Alcotest.test_case "E5 hit/miss" `Quick e5_shape;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "MCB size" `Quick mcb_ablation_shape;
+          Alcotest.test_case "unrolling" `Quick unroll_ablation_shape;
+          Alcotest.test_case "adaptive despec" `Quick adaptive_despec_shape;
+          Alcotest.test_case "adaptive despec correctness" `Quick
+            adaptive_despec_is_architecturally_safe;
+        ] );
+    ]

@@ -1,0 +1,297 @@
+(* Tests for the kernel compiler: compiled programs executed on the
+   reference interpreter must match the semantics computed in OCaml. *)
+
+open Gb_kernelc.Dsl
+
+let run_program ?(mem_size = 1 lsl 18) program =
+  let asm = Gb_kernelc.Compile.assemble program in
+  let mem = Gb_riscv.Mem.create ~size:mem_size in
+  Gb_riscv.Asm.load mem asm;
+  let interp = Gb_riscv.Interp.create ~mem ~pc:asm.Gb_riscv.Asm.entry () in
+  let code = Gb_riscv.Interp.run interp in
+  (code, interp, asm)
+
+let exit_of ?mem_size program =
+  let code, _, _ = run_program ?mem_size program in
+  code
+
+let simple_arith () =
+  let p = { Gb_kernelc.Ast.arrays = []; body = []; result = (c 6 *: c 7) +: c 1 } in
+  Alcotest.(check int) "6*7+1" 43 (exit_of p)
+
+let scalars_and_loops () =
+  (* sum of i*j over i,j < 10, mod 256 *)
+  let p =
+    {
+      Gb_kernelc.Ast.arrays = [];
+      body =
+        [
+          let_ "acc" (c 0);
+          for_ "i" (c 0) (c 10)
+            [ for_ "j" (c 0) (c 10) [ set "acc" (v "acc" +: (v "i" *: v "j")) ] ];
+        ];
+      result = v "acc";
+    }
+  in
+  let expected = ref 0 in
+  for i = 0 to 9 do
+    for j = 0 to 9 do
+      expected := !expected + (i * j)
+    done
+  done;
+  Alcotest.(check int) "sum i*j" (!expected land 0xff) (exit_of p)
+
+let conditionals () =
+  let branchy n =
+    {
+      Gb_kernelc.Ast.arrays = [];
+      body =
+        [
+          let_ "x" (c n);
+          if_ (v "x" <: c 10) [ set "x" (v "x" +: c 100) ] [ set "x" (v "x" -: c 1) ];
+        ];
+      result = v "x";
+    }
+  in
+  Alcotest.(check int) "then branch" 105 (exit_of (branchy 5));
+  Alcotest.(check int) "else branch" 41 (exit_of (branchy 42))
+
+let array_roundtrip () =
+  (* a[i][j] = i*16+j; read back a[3][7] *)
+  let p =
+    {
+      Gb_kernelc.Ast.arrays = [ array "a" Gb_kernelc.Ast.I64 [ 8; 16 ] ];
+      body =
+        [
+          for_ "i" (c 0) (c 8)
+            [ for_ "j" (c 0) (c 16)
+                [ ("a", [ v "i"; v "j" ]) <-: ((v "i" *: c 16) +: v "j") ] ];
+        ];
+      result = arr "a" [ c 3; c 7 ];
+    }
+  in
+  Alcotest.(check int) "a[3][7]" 55 (exit_of p)
+
+let i32_arrays () =
+  (* 32-bit elements: stores truncate, loads sign-extend *)
+  let p =
+    {
+      Gb_kernelc.Ast.arrays = [ array "w" Gb_kernelc.Ast.I32 [ 4 ] ];
+      body =
+        [
+          ("w", [ c 0 ]) <-: c (-5);
+          ("w", [ c 1 ]) <-: (c 7 +: (c 1 <<: c 32)) (* truncates to 7 *);
+          let_ "neg" (arr "w" [ c 0 ]);
+          let_ "pos" (arr "w" [ c 1 ]);
+        ];
+      result = (v "pos" *: c 10) -: v "neg" (* 70 + 5 *);
+    }
+  in
+  Alcotest.(check int) "i32 semantics" 75 (exit_of p)
+
+let byte_arrays () =
+  let p =
+    {
+      Gb_kernelc.Ast.arrays =
+        [ array_init "s" Gb_kernelc.Ast.I8 [ 8 ] (Gb_kernelc.Ast.Bytes "AB\xffZ") ];
+      body = [];
+      result = arr "s" [ c 2 ];  (* unsigned byte load *)
+    }
+  in
+  Alcotest.(check int) "unsigned byte" 0xff (exit_of p)
+
+let raw_memory_access () =
+  (* write through a computed pointer, read back through Arr *)
+  let p =
+    {
+      Gb_kernelc.Ast.arrays = [ array "a" Gb_kernelc.Ast.I64 [ 4 ] ];
+      body =
+        [
+          let_ "base" (Gb_kernelc.Ast.Addr_of ("a", []));
+          Gb_kernelc.Ast.Mem_store
+            (Gb_kernelc.Ast.I64, v "base" +: c 16, c 99);
+        ];
+      result = arr "a" [ c 2 ];
+    }
+  in
+  Alcotest.(check int) "mem store visible" 99 (exit_of p)
+
+let addr_of_layout () =
+  (* arrays are laid out in declaration order: &second > &first *)
+  let p =
+    {
+      Gb_kernelc.Ast.arrays =
+        [ array "first" Gb_kernelc.Ast.I8 [ 16 ]; array "second" Gb_kernelc.Ast.I8 [ 16 ] ];
+      body = [];
+      result =
+        Gb_kernelc.Ast.Bin
+          (Gb_kernelc.Ast.Sub, Gb_kernelc.Ast.Addr_of ("second", []),
+           Gb_kernelc.Ast.Addr_of ("first", []));
+    }
+  in
+  Alcotest.(check int) "16 bytes apart" 16 (exit_of p)
+
+let loop_bound_is_expression () =
+  (* triangular loop: sum of i for j < i, i < 10 = sum i*(i) .. check *)
+  let p =
+    {
+      Gb_kernelc.Ast.arrays = [];
+      body =
+        [
+          let_ "acc" (c 0);
+          for_ "i" (c 0) (c 10)
+            [ for_ "j" (c 0) (v "i") [ set "acc" (v "acc" +: c 1) ] ];
+        ];
+      result = v "acc";
+    }
+  in
+  Alcotest.(check int) "triangular count" 45 (exit_of p)
+
+let emit_byte_output () =
+  let p =
+    {
+      Gb_kernelc.Ast.arrays = [];
+      body = [ Gb_kernelc.Ast.Emit_byte (c 79); Gb_kernelc.Ast.Emit_byte (c 75) ];
+      result = c 0;
+    }
+  in
+  let _, interp, _ = run_program p in
+  Alcotest.(check string) "output" "OK" (Buffer.contents interp.Gb_riscv.Interp.output)
+
+let division_semantics () =
+  let p =
+    { Gb_kernelc.Ast.arrays = []; body = []; result = (c 17 /: c 5) +: (c 17 %: c 5) }
+  in
+  Alcotest.(check int) "div+rem" 5 (exit_of p)
+
+let comparison_ops () =
+  let p =
+    {
+      Gb_kernelc.Ast.arrays = [];
+      body = [];
+      result =
+        (c 3 <: c 4)
+        +: ((c 4 <: c 3) *: c 10)
+        +: ((c 5 =: c 5) *: c 100)
+        +: (Gb_kernelc.Ast.Bin (Gb_kernelc.Ast.Ne, c 5, c 6) *: c 4)
+        +: (Gb_kernelc.Ast.Bin (Gb_kernelc.Ast.Le, c 7, c 7) *: c 32);
+    }
+  in
+  Alcotest.(check int) "1 + 0 + 100 + 4 + 32" 137 (exit_of p)
+
+let compile_errors () =
+  let check_error name program =
+    match Gb_kernelc.Compile.compile program with
+    | exception Gb_kernelc.Compile.Error _ -> ()
+    | _ -> Alcotest.failf "%s: expected a compile error" name
+  in
+  check_error "undefined scalar"
+    { Gb_kernelc.Ast.arrays = []; body = []; result = v "nope" };
+  check_error "unknown array"
+    { Gb_kernelc.Ast.arrays = []; body = []; result = arr "nope" [ c 0 ] };
+  check_error "redeclared scalar"
+    { Gb_kernelc.Ast.arrays = []; body = [ let_ "x" (c 1); let_ "x" (c 2) ];
+      result = c 0 };
+  check_error "bad index count"
+    { Gb_kernelc.Ast.arrays = [ array "a" Gb_kernelc.Ast.I64 [ 4; 4 ] ];
+      body = []; result = arr "a" [ c 0 ] }
+
+let scoping_reuses_registers () =
+  (* many sequential loops with block-local scalars must not exhaust the
+     register pool *)
+  let loop i =
+    for_ (Printf.sprintf "i%d" i) (c 0) (c 3)
+      [ let_ "local" (c i); set "acc" (v "acc" +: v "local") ]
+  in
+  let p =
+    {
+      Gb_kernelc.Ast.arrays = [];
+      body = let_ "acc" (c 0) :: List.init 30 loop;
+      result = v "acc";
+    }
+  in
+  let expected = 3 * (List.init 30 Fun.id |> List.fold_left ( + ) 0) in
+  Alcotest.(check int) "scoped locals" (expected land 0xff) (exit_of p)
+
+(* Property: compiled integer expressions match an OCaml evaluator. *)
+let rec eval_expr = function
+  | Gb_kernelc.Ast.Const n -> n
+  | Gb_kernelc.Ast.Bin (op, a, b) ->
+    let a = eval_expr a and b = eval_expr b in
+    let open Int64 in
+    (match op with
+    | Gb_kernelc.Ast.Add -> add a b
+    | Gb_kernelc.Ast.Sub -> sub a b
+    | Gb_kernelc.Ast.Mul -> mul a b
+    | Gb_kernelc.Ast.Div -> if equal b 0L then -1L else div a b
+    | Gb_kernelc.Ast.Rem -> if equal b 0L then a else rem a b
+    | Gb_kernelc.Ast.And -> logand a b
+    | Gb_kernelc.Ast.Or -> logor a b
+    | Gb_kernelc.Ast.Xor -> logxor a b
+    | Gb_kernelc.Ast.Shl -> shift_left a (to_int b land 63)
+    | Gb_kernelc.Ast.Shr -> shift_right_logical a (to_int b land 63)
+    | Gb_kernelc.Ast.Lt -> if compare a b < 0 then 1L else 0L
+    | Gb_kernelc.Ast.Le -> if compare a b <= 0 then 1L else 0L
+    | Gb_kernelc.Ast.Eq -> if equal a b then 1L else 0L
+    | Gb_kernelc.Ast.Ne -> if equal a b then 0L else 1L)
+  | Gb_kernelc.Ast.Var _ | Gb_kernelc.Ast.Arr _ | Gb_kernelc.Ast.Addr_of _
+  | Gb_kernelc.Ast.Mem _ | Gb_kernelc.Ast.Cycle ->
+    assert false
+
+let arb_const_expr =
+  let open QCheck.Gen in
+  let leaf = map (fun n -> Gb_kernelc.Ast.Const (Int64.of_int n)) (int_range (-100) 100) in
+  let op =
+    oneofl
+      Gb_kernelc.Ast.
+        [ Add; Sub; Mul; Div; Rem; And; Or; Xor; Lt; Le; Eq; Ne ]
+  in
+  let rec expr depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (1, leaf);
+          ( 3,
+            map3 (fun op a b -> Gb_kernelc.Ast.Bin (op, a, b)) op (expr (depth - 1))
+              (expr (depth - 1)) );
+        ]
+  in
+  expr 3
+
+let expr_semantics_prop =
+  QCheck.Test.make ~count:300 ~name:"compiled expressions match evaluator"
+    (QCheck.make arb_const_expr)
+    (fun e ->
+      let expected = Int64.to_int (eval_expr e) land 0xff in
+      let p = { Gb_kernelc.Ast.arrays = []; body = []; result = e } in
+      exit_of p = expected)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "kernelc"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "arith" `Quick simple_arith;
+          Alcotest.test_case "scalars and loops" `Quick scalars_and_loops;
+          Alcotest.test_case "conditionals" `Quick conditionals;
+          Alcotest.test_case "arrays" `Quick array_roundtrip;
+          Alcotest.test_case "byte arrays" `Quick byte_arrays;
+          Alcotest.test_case "i32 arrays" `Quick i32_arrays;
+          Alcotest.test_case "raw memory" `Quick raw_memory_access;
+          Alcotest.test_case "layout" `Quick addr_of_layout;
+          Alcotest.test_case "expression loop bound" `Quick
+            loop_bound_is_expression;
+          Alcotest.test_case "emit byte" `Quick emit_byte_output;
+          Alcotest.test_case "division" `Quick division_semantics;
+          Alcotest.test_case "comparisons" `Quick comparison_ops;
+          qt expr_semantics_prop;
+        ] );
+      ( "compilation",
+        [
+          Alcotest.test_case "errors" `Quick compile_errors;
+          Alcotest.test_case "register scoping" `Quick scoping_reuses_registers;
+        ] );
+    ]

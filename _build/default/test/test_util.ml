@@ -1,0 +1,126 @@
+(* Tests for the utility library: deterministic RNG, statistics, table
+   rendering. *)
+
+let rng_deterministic () =
+  let a = Gb_util.Rng.create 42L in
+  let b = Gb_util.Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Gb_util.Rng.next a) (Gb_util.Rng.next b)
+  done
+
+let rng_zero_seed () =
+  let r = Gb_util.Rng.create 0L in
+  Alcotest.(check bool) "zero seed produces values" true
+    (not (Int64.equal (Gb_util.Rng.next r) 0L))
+
+let rng_bounds_prop =
+  QCheck.Test.make ~count:500 ~name:"Rng.int stays in bounds"
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Gb_util.Rng.create seed in
+      let v = Gb_util.Rng.int r bound in
+      v >= 0 && v < bound)
+
+let rng_choose () =
+  let r = Gb_util.Rng.create 7L in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "choose picks a member" true
+      (Array.mem (Gb_util.Rng.choose r arr) arr)
+  done
+
+let stats_basics () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Gb_util.Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0. (Gb_util.Stats.mean []);
+  Alcotest.(check (float 1e-9)) "geomean" 2. (Gb_util.Stats.geomean [ 1.; 4. ]);
+  Alcotest.(check (float 1e-9)) "geomean empty" 1. (Gb_util.Stats.geomean []);
+  Alcotest.(check (float 1e-9)) "median odd" 2. (Gb_util.Stats.median [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "median even" 2.5
+    (Gb_util.Stats.median [ 4.; 1.; 2.; 3. ]);
+  let lo, hi = Gb_util.Stats.min_max [ 3.; 1.; 2. ] in
+  Alcotest.(check (float 1e-9)) "min" 1. lo;
+  Alcotest.(check (float 1e-9)) "max" 3. hi
+
+let percentile_prop =
+  QCheck.Test.make ~count:300 ~name:"percentile within range"
+    QCheck.(pair (float_range 0. 1.)
+              (list_of_size (Gen.int_range 1 50) (float_range 0. 100.)))
+    (fun (p, xs) ->
+      let v = Gb_util.Stats.percentile p xs in
+      let lo, hi = Gb_util.Stats.min_max xs in
+      v >= lo && v <= hi)
+
+let table_render () =
+  let s =
+    Gb_util.Table.render ~header:[ "name"; "value" ]
+      ~rows:[ [ "a"; "1" ]; [ "long-name"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "header + separator + 2 rows + trailing" 5
+    (List.length lines);
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  Alcotest.(check bool) "uniform width" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let table_pads_short_rows () =
+  let s = Gb_util.Table.render ~header:[ "a"; "b"; "c" ] ~rows:[ [ "x" ] ] in
+  Alcotest.(check bool) "renders without exception" true (String.length s > 0)
+
+let json_encoding () =
+  let module J = Gb_util.Json in
+  Alcotest.(check string) "scalar" "42" (J.to_string (J.Int 42));
+  Alcotest.(check string) "null" "null" (J.to_string J.Null);
+  Alcotest.(check string) "bool" "true" (J.to_string (J.Bool true));
+  Alcotest.(check string) "float" "1.5" (J.to_string (J.Float 1.5));
+  Alcotest.(check string) "integral float" "2.0" (J.to_string (J.Float 2.));
+  Alcotest.(check string) "string escaping" {|"a\"b\\c\nd"|}
+    (J.to_string (J.String "a\"b\\c\nd"));
+  Alcotest.(check string) "control chars" "\"\\u0001\""
+    (J.to_string (J.String "\001"));
+  Alcotest.(check string) "empty containers" {|[{},[]]|}
+    (J.to_string (J.List [ J.Obj []; J.List [] ]));
+  Alcotest.(check string) "object" {|{"a":1,"b":[2,3]}|}
+    (J.to_string (J.Obj [ ("a", J.Int 1); ("b", J.List [ J.Int 2; J.Int 3 ]) ]))
+
+let json_pretty_roundtrip () =
+  let module J = Gb_util.Json in
+  let v = J.Obj [ ("xs", J.List [ J.Int 1; J.String "two" ]); ("ok", J.Bool false) ] in
+  let pretty = J.to_string_pretty v in
+  (* pretty form contains the same tokens, plus layout *)
+  Alcotest.(check bool) "has newlines" true (String.contains pretty '\n');
+  let strip s =
+    String.to_seq s
+    |> Seq.filter (fun c -> c <> ' ' && c <> '\n')
+    |> String.of_seq
+  in
+  Alcotest.(check string) "same content" (J.to_string v) (strip pretty)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "zero seed" `Quick rng_zero_seed;
+          Alcotest.test_case "choose" `Quick rng_choose;
+          qt rng_bounds_prop;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "basics" `Quick stats_basics; qt percentile_prop ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick table_render;
+          Alcotest.test_case "pads short rows" `Quick table_pads_short_rows;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "encoding" `Quick json_encoding;
+          Alcotest.test_case "pretty round-trip" `Quick json_pretty_roundtrip;
+        ] );
+    ]

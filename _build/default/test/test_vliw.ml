@@ -1,0 +1,340 @@
+(* Tests for the VLIW core: bundle execution, exit stubs, MCB rollback,
+   stall-on-miss timing — on hand-written traces. *)
+
+open Gb_vliw.Vinsn
+
+let h n = Gb_vliw.Vinsn.guest_regs + n (* hidden register n *)
+
+let make_machine () =
+  let mem = Gb_riscv.Mem.create ~size:(1 lsl 16) in
+  let hier = Gb_cache.Hierarchy.create Gb_cache.Hierarchy.default_config in
+  let clock = ref 0L in
+  (Gb_vliw.Machine.create ~mem ~hier ~clock (), clock)
+
+let pad width ops = Array.init width (fun i -> if i < List.length ops then List.nth ops i else Nop)
+
+let trace ?(stubs = []) ?(n_regs = 64) bundles =
+  {
+    entry_pc = 0x1000;
+    bundles = Array.of_list (List.map (pad 4) bundles);
+    stubs = Array.of_list stubs;
+    n_regs;
+    guest_insns = 0;
+    meta = empty_meta;
+  }
+
+let add = Gb_riscv.Insn.ADD
+
+let straight_line () =
+  (* h0 = 5; h1 = h0 + 7; exit committing a0 <- h1 *)
+  let t =
+    trace
+      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 1)) ]; target_pc = 0x2000 } ]
+      [
+        [ Alu { op = add; dst = h 0; a = I 5L; b = I 0L } ];
+        [ Alu { op = add; dst = h 1; a = R (h 0); b = I 7L } ];
+        [ Exit { stub = 0 } ];
+      ]
+  in
+  let m, _clock = make_machine () in
+  let info = Gb_vliw.Pipeline.run m t in
+  Alcotest.(check int) "next pc" 0x2000 info.Gb_vliw.Pipeline.next_pc;
+  Alcotest.(check int64) "a0 committed" 12L m.Gb_vliw.Machine.regs.(Gb_riscv.Reg.a0);
+  Alcotest.(check bool) "fallthrough" true
+    (info.Gb_vliw.Pipeline.kind = Gb_vliw.Pipeline.Fallthrough)
+
+let parallel_semantics () =
+  (* h0=1 first; then in ONE bundle: h1 <- h0 + 1 and h0 <- 100.
+     h1 must read the pre-bundle h0. *)
+  let t =
+    trace
+      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 1)) ]; target_pc = 0 } ]
+      [
+        [ Alu { op = add; dst = h 0; a = I 1L; b = I 0L } ];
+        [
+          Alu { op = add; dst = h 1; a = R (h 0); b = I 1L };
+          Alu { op = add; dst = h 0; a = I 100L; b = I 0L };
+        ];
+        [ Exit { stub = 0 } ];
+      ]
+  in
+  let m, _ = make_machine () in
+  ignore (Gb_vliw.Pipeline.run m t);
+  Alcotest.(check int64) "parallel read" 2L m.Gb_vliw.Machine.regs.(Gb_riscv.Reg.a0)
+
+let side_exit_commits () =
+  (* Branch taken in bundle 1: only the side-exit stub's commits apply. *)
+  let t =
+    trace
+      ~stubs:
+        [
+          { commits = [ (Gb_riscv.Reg.a0, I 1L) ]; target_pc = 0xAAAA };
+          { commits = [ (Gb_riscv.Reg.a0, I 2L) ]; target_pc = 0xBBBB };
+        ]
+      [
+        [ Alu { op = add; dst = h 0; a = I 3L; b = I 4L } ];
+        [ Branch { cond = Gb_riscv.Insn.BEQ; a = R (h 0); b = I 7L; stub = 0 } ];
+        [ Exit { stub = 1 } ];
+      ]
+  in
+  let m, _ = make_machine () in
+  let info = Gb_vliw.Pipeline.run m t in
+  Alcotest.(check int) "side exit target" 0xAAAA info.Gb_vliw.Pipeline.next_pc;
+  Alcotest.(check int64) "stub 0 committed" 1L m.Gb_vliw.Machine.regs.(Gb_riscv.Reg.a0);
+  Alcotest.(check bool) "kind" true
+    (info.Gb_vliw.Pipeline.kind = Gb_vliw.Pipeline.Side_exit)
+
+let mcb_rollback () =
+  (* Speculative load from address 128 hoisted above a store to 128:
+     the chk must roll back. With a store to 256 instead, it must not. *)
+  let build store_addr =
+    trace
+      ~stubs:
+        [
+          { commits = []; target_pc = 0xD00D } (* rollback stub *);
+          { commits = [ (Gb_riscv.Reg.a0, R (h 0)) ]; target_pc = 0xFFFF };
+        ]
+      [
+        [
+          Load
+            { w = Gb_riscv.Insn.D; unsigned = false; dst = h 0; base = I 128L;
+              off = 0; spec = Some 3 };
+        ];
+        [
+          Store
+            { w = Gb_riscv.Insn.D; src = I 42L; base = I (Int64.of_int store_addr);
+              off = 0 };
+        ];
+        [ Chk { tag = 3; stub = 0 } ];
+        [ Exit { stub = 1 } ];
+      ]
+  in
+  let m, _ = make_machine () in
+  let info = Gb_vliw.Pipeline.run m (build 128) in
+  Alcotest.(check int) "rollback target" 0xD00D info.Gb_vliw.Pipeline.next_pc;
+  Alcotest.(check bool) "rollback kind" true
+    (info.Gb_vliw.Pipeline.kind = Gb_vliw.Pipeline.Rollback);
+  Alcotest.(check int64) "a0 not committed" 0L m.Gb_vliw.Machine.regs.(Gb_riscv.Reg.a0);
+  let m2, _ = make_machine () in
+  let info2 = Gb_vliw.Pipeline.run m2 (build 256) in
+  Alcotest.(check int) "no rollback" 0xFFFF info2.Gb_vliw.Pipeline.next_pc;
+  (* the load committed the (pre-store) memory value 0 *)
+  Alcotest.(check int64) "a0 committed" 0L m2.Gb_vliw.Machine.regs.(Gb_riscv.Reg.a0)
+
+let mcb_partial_overlap () =
+  (* A 1-byte store inside the 8-byte speculatively loaded range conflicts. *)
+  let t =
+    trace
+      ~stubs:
+        [
+          { commits = []; target_pc = 1 };
+          { commits = []; target_pc = 2 };
+        ]
+      [
+        [
+          Load
+            { w = Gb_riscv.Insn.D; unsigned = false; dst = h 0; base = I 512L;
+              off = 0; spec = Some 0 };
+        ];
+        [ Store { w = Gb_riscv.Insn.B; src = I 1L; base = I 519L; off = 0 } ];
+        [ Chk { tag = 0; stub = 0 } ];
+        [ Exit { stub = 1 } ];
+      ]
+  in
+  let m, _ = make_machine () in
+  let info = Gb_vliw.Pipeline.run m t in
+  Alcotest.(check int) "overlap detected" 1 info.Gb_vliw.Pipeline.next_pc
+
+let speculative_fault_deferred () =
+  (* A speculative load far out of memory returns 0 and does not raise. *)
+  let t =
+    trace
+      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 0)) ]; target_pc = 0 } ]
+      [
+        [
+          Load
+            { w = Gb_riscv.Insn.D; unsigned = false; dst = h 0;
+              base = I 0x7FFFFFFFL; off = 0; spec = None };
+        ];
+        [ Exit { stub = 0 } ];
+      ]
+  in
+  let m, _ = make_machine () in
+  ignore (Gb_vliw.Pipeline.run m t);
+  Alcotest.(check int64) "deferred fault value" 0L
+    m.Gb_vliw.Machine.regs.(Gb_riscv.Reg.a0)
+
+let miss_stalls_pipeline () =
+  (* Same trace run twice: first run misses (cold cache), second hits. *)
+  let t =
+    trace
+      ~stubs:[ { commits = []; target_pc = 0 } ]
+      [
+        [
+          Load
+            { w = Gb_riscv.Insn.D; unsigned = false; dst = h 0; base = I 4096L;
+              off = 0; spec = None };
+        ];
+        [ Exit { stub = 0 } ];
+      ]
+  in
+  let m, clock = make_machine () in
+  ignore (Gb_vliw.Pipeline.run m t);
+  let cold = !clock in
+  ignore (Gb_vliw.Pipeline.run m t);
+  let warm = Int64.sub !clock cold in
+  Alcotest.(check bool) "cold run slower" true (Int64.compare cold warm > 0);
+  let miss_penalty =
+    (Gb_cache.Hierarchy.config m.Gb_vliw.Machine.hier).Gb_cache.Hierarchy.miss_penalty
+  in
+  Alcotest.(check int64) "difference is the miss penalty"
+    (Int64.of_int miss_penalty) (Int64.sub cold warm)
+
+let cflush_forces_miss () =
+  let t_load =
+    trace
+      ~stubs:[ { commits = []; target_pc = 0 } ]
+      [
+        [
+          Load
+            { w = Gb_riscv.Insn.D; unsigned = false; dst = h 0; base = I 4096L;
+              off = 0; spec = None };
+        ];
+        [ Exit { stub = 0 } ];
+      ]
+  in
+  let m, clock = make_machine () in
+  ignore (Gb_vliw.Pipeline.run m t_load);
+  ignore (Gb_vliw.Pipeline.run m t_load);
+  let before = !clock in
+  (* flush the line, reload: should pay the miss again *)
+  Gb_cache.Hierarchy.flush_line m.Gb_vliw.Machine.hier 4096;
+  ignore (Gb_vliw.Pipeline.run m t_load);
+  let after = Int64.sub !clock before in
+  Alcotest.(check bool) "flush caused a miss" true
+    (Int64.compare after 40L > 0)
+
+let duplicate_write_rejected () =
+  let t =
+    trace
+      ~stubs:[ { commits = []; target_pc = 0 } ]
+      [
+        [
+          Alu { op = add; dst = h 0; a = I 1L; b = I 0L };
+          Alu { op = add; dst = h 0; a = I 2L; b = I 0L };
+        ];
+        [ Exit { stub = 0 } ];
+      ]
+  in
+  let m, _ = make_machine () in
+  Alcotest.check_raises "duplicate write"
+    (Gb_vliw.Pipeline.Machine_error "duplicate write to register 32")
+    (fun () -> ignore (Gb_vliw.Pipeline.run m t))
+
+let rdcycle_observes_stalls () =
+  (* rdcycle; miss load; rdcycle -> delta > miss penalty;
+     then warm: delta small. *)
+  let t =
+    trace
+      ~stubs:
+        [ { commits = [ (Gb_riscv.Reg.a0, R (h 2)) ]; target_pc = 0 } ]
+      [
+        [ Rdcycle { dst = h 0 } ];
+        [
+          Load
+            { w = Gb_riscv.Insn.D; unsigned = false; dst = h 3; base = I 8192L;
+              off = 0; spec = None };
+        ];
+        [ Rdcycle { dst = h 1 } ];
+        [ Alu { op = Gb_riscv.Insn.SUB; dst = h 2; a = R (h 1); b = R (h 0) } ];
+        [ Exit { stub = 0 } ];
+      ]
+  in
+  let m, _ = make_machine () in
+  ignore (Gb_vliw.Pipeline.run m t);
+  let cold_delta = m.Gb_vliw.Machine.regs.(Gb_riscv.Reg.a0) in
+  ignore (Gb_vliw.Pipeline.run m t);
+  let warm_delta = m.Gb_vliw.Machine.regs.(Gb_riscv.Reg.a0) in
+  Alcotest.(check bool) "cold >= miss penalty" true
+    (Int64.compare cold_delta 40L >= 0);
+  Alcotest.(check bool) "warm < miss penalty" true
+    (Int64.compare warm_delta 40L < 0)
+
+let subword_memory_ops () =
+  (* halfword/word loads and stores through the VLIW pipeline: truncation
+     on store, zero- vs sign-extension on load *)
+  let t =
+    trace
+      ~stubs:
+        [
+          {
+            commits =
+              [
+                (Gb_riscv.Reg.a0, R (h 1));
+                (Gb_riscv.Reg.a1, R (h 2));
+                (Gb_riscv.Reg.a2, R (h 3));
+              ];
+            target_pc = 0;
+          };
+        ]
+      [
+        (* store 0xFFFF8001 as a word at 256 *)
+        [ Store { w = Gb_riscv.Insn.W; src = I 0xFFFF8001L; base = I 256L; off = 0 } ];
+        (* signed word load -> sign-extends *)
+        [ Load { w = Gb_riscv.Insn.W; unsigned = false; dst = h 1; base = I 256L; off = 0; spec = None } ];
+        (* unsigned halfword load of the low half -> 0x8001 *)
+        [ Load { w = Gb_riscv.Insn.H; unsigned = true; dst = h 2; base = I 256L; off = 0; spec = None } ];
+        (* signed halfword load -> sign-extends 0x8001 *)
+        [ Load { w = Gb_riscv.Insn.H; unsigned = false; dst = h 3; base = I 256L; off = 0; spec = None } ];
+        [ Exit { stub = 0 } ];
+      ]
+  in
+  let m, _ = make_machine () in
+  ignore (Gb_vliw.Pipeline.run m t);
+  Alcotest.(check int64) "lw sign-extends" 0xFFFFFFFFFFFF8001L
+    m.Gb_vliw.Machine.regs.(Gb_riscv.Reg.a0);
+  Alcotest.(check int64) "lhu zero-extends" 0x8001L
+    m.Gb_vliw.Machine.regs.(Gb_riscv.Reg.a1);
+  Alcotest.(check int64) "lh sign-extends" 0xFFFFFFFFFFFF8001L
+    m.Gb_vliw.Machine.regs.(Gb_riscv.Reg.a2)
+
+let mcb_tag_reuse () =
+  let mcb = Gb_vliw.Mcb.create ~entries:4 in
+  Gb_vliw.Mcb.alloc mcb ~tag:1 ~addr:100 ~size:8;
+  Gb_vliw.Mcb.store_probe mcb ~addr:104 ~size:1;
+  Alcotest.(check bool) "conflict" true (Gb_vliw.Mcb.check mcb ~tag:1);
+  (* entry consumed: checking again reports no conflict *)
+  Alcotest.(check bool) "consumed" false (Gb_vliw.Mcb.check mcb ~tag:1);
+  (* reallocation resets the conflict bit *)
+  Gb_vliw.Mcb.alloc mcb ~tag:1 ~addr:100 ~size:8;
+  Alcotest.(check bool) "reset" false (Gb_vliw.Mcb.check mcb ~tag:1)
+
+let () =
+  Alcotest.run "vliw"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "straight line" `Quick straight_line;
+          Alcotest.test_case "parallel bundle semantics" `Quick
+            parallel_semantics;
+          Alcotest.test_case "side exit commits" `Quick side_exit_commits;
+          Alcotest.test_case "speculative fault deferred" `Quick
+            speculative_fault_deferred;
+          Alcotest.test_case "duplicate write rejected" `Quick
+            duplicate_write_rejected;
+          Alcotest.test_case "subword memory ops" `Quick subword_memory_ops;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "miss stalls pipeline" `Quick miss_stalls_pipeline;
+          Alcotest.test_case "cflush forces miss" `Quick cflush_forces_miss;
+          Alcotest.test_case "rdcycle observes stalls" `Quick
+            rdcycle_observes_stalls;
+        ] );
+      ( "mcb",
+        [
+          Alcotest.test_case "rollback on conflict" `Quick mcb_rollback;
+          Alcotest.test_case "partial overlap" `Quick mcb_partial_overlap;
+          Alcotest.test_case "tag reuse" `Quick mcb_tag_reuse;
+        ] );
+    ]
