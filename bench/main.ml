@@ -303,6 +303,22 @@ let micro () =
   in
   Gb_util.Table.print ~header:[ "component"; "ns/op" ] ~rows
 
+(* --- Gb_obs metrics snapshot of an instrumented run -------------------- *)
+
+let metrics_snapshot () =
+  print_header "Metrics snapshot: one instrumented run (Gb_obs)";
+  let w = List.hd Gb_workloads.Polybench.all in
+  let obs = Gb_obs.Sink.create () in
+  let _ =
+    Gb_system.Processor.run_program
+      ~config:(Gb_system.Processor.config_for Gb_core.Mitigation.Fine_grained)
+      ~obs
+      (Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program)
+  in
+  Printf.printf "workload: %s (fine-grained mode)\n%s\n"
+    w.Gb_workloads.Polybench.name
+    (Gb_util.Json.to_string_pretty (Gb_obs.Sink.metrics_json obs))
+
 let () =
   let no_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
   Printf.printf
@@ -316,4 +332,5 @@ let () =
   e5 ();
   e6 ();
   e7 ();
+  metrics_snapshot ();
   if not no_micro then micro ()

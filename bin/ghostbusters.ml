@@ -132,6 +132,111 @@ let find_workload name =
   | Some w -> Ok w
   | None -> Error (`Msg (Printf.sprintf "unknown workload %S; try 'list'" name))
 
+(* --- observability flags shared by run/attack --------------------------- *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON of the run's events and DBT \
+           phases to $(docv) (open in chrome://tracing or Perfetto).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the metrics snapshot (counters, gauges, histograms, \
+              host-phase timers) as JSON to $(docv).")
+
+let profile_flag =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Print host-side DBT phase timings and key counters after the \
+              run.")
+
+(* An active sink when any observability output was requested, noop
+   otherwise so unobserved runs pay nothing. *)
+let sink_of_flags trace_out metrics_out profile =
+  if trace_out <> None || metrics_out <> None || profile then
+    Gb_obs.Sink.create ()
+  else Gb_obs.Sink.noop
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* Fail on an unwritable output path before spending time on the
+   simulation; the successful open leaves an empty file that the final
+   write overwrites. *)
+let check_outputs trace_out metrics_out =
+  let writable = function
+    | None -> Ok ()
+    | Some path -> (
+      match open_out path with
+      | oc ->
+        close_out oc;
+        Ok ()
+      | exception Sys_error e -> Error (`Msg e))
+  in
+  match writable trace_out with
+  | Error _ as e -> e
+  | Ok () -> writable metrics_out
+
+let emit_observability obs ~trace_out ~metrics_out ~profile =
+  Option.iter
+    (fun path ->
+      write_file path (Gb_util.Json.to_string (Gb_obs.Sink.trace_json obs)))
+    trace_out;
+  Option.iter
+    (fun path ->
+      write_file path
+        (Gb_util.Json.to_string_pretty (Gb_obs.Sink.metrics_json obs)))
+    metrics_out;
+  if profile then begin
+    let totals = Gb_obs.Sink.timer_totals obs in
+    if totals <> [] then begin
+      Printf.printf "\nDBT host phases (wall clock):\n";
+      Gb_util.Table.print
+        ~header:[ "phase"; "calls"; "total us"; "us/call" ]
+        ~rows:
+          (List.map
+             (fun { Gb_obs.Timer.t_phase; t_calls; t_total_us } ->
+               [
+                 t_phase;
+                 string_of_int t_calls;
+                 Printf.sprintf "%.1f" t_total_us;
+                 Printf.sprintf "%.1f" (t_total_us /. float_of_int t_calls);
+               ])
+             totals)
+    end;
+    match Gb_obs.Sink.metrics obs with
+    | None -> ()
+    | Some m ->
+      Printf.printf "\nKey counters:\n";
+      let counters =
+        [
+          "translate.translations"; "translate.first_pass";
+          "translate.failures"; "translate.retranslations";
+          "translate.despeculations"; "mitigation.patterns_found";
+          "mitigation.loads_constrained"; "mitigation.fences_inserted";
+          "vliw.trace_runs"; "vliw.side_exits"; "vliw.rollbacks";
+          "vliw.mcb_conflicts"; "cache.read_misses"; "cache.write_misses";
+        ]
+      in
+      Gb_util.Table.print ~header:[ "counter"; "value" ]
+        ~rows:
+          (List.map
+             (fun name ->
+               [ name; string_of_int (Gb_obs.Metrics.counter_value m name) ])
+             counters)
+  end
+
 (* --- list --------------------------------------------------------------- *)
 
 let list_cmd =
@@ -165,13 +270,19 @@ let run_json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
 
 let run_cmd =
-  let run name mode report json width mcb hot unroll cache_kib =
-    match find_workload name with
+  let run name mode report json width mcb hot unroll cache_kib trace_out
+      metrics_out profile =
+    match
+      Result.bind (find_workload name) (fun w ->
+          Result.map (fun () -> w) (check_outputs trace_out metrics_out))
+    with
     | Error e -> Error e
     | Ok w ->
+      let obs = sink_of_flags trace_out metrics_out profile in
       let proc =
         Gb_system.Processor.create
           ~config:(build_config mode width mcb hot unroll cache_kib)
+          ~obs
           (Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program)
       in
       let r = Gb_system.Processor.run proc in
@@ -188,6 +299,7 @@ let run_cmd =
         Printf.printf "%s under %s\n" name (Gb_core.Mitigation.mode_name mode);
         print_result r
       end;
+      emit_observability obs ~trace_out ~metrics_out ~profile;
       Ok ()
   in
   Cmd.v
@@ -195,7 +307,8 @@ let run_cmd =
     Term.(
       term_result
         (const run $ workload_arg $ mode_arg $ report_flag $ run_json_flag
-        $ width_arg $ mcb_arg $ hot_arg $ unroll_arg $ cache_kib_arg))
+        $ width_arg $ mcb_arg $ hot_arg $ unroll_arg $ cache_kib_arg
+        $ trace_out_arg $ metrics_out_arg $ profile_flag))
 
 (* --- attack ------------------------------------------------------------- *)
 
@@ -206,22 +319,31 @@ let variant_arg =
     & info [] ~docv:"VARIANT" ~doc:"Spectre variant: v1 or v4.")
 
 let attack_cmd =
-  let run variant mode secret width mcb hot unroll cache_kib =
-    let program =
-      match variant with
-      | `V1 -> Gb_attack.Spectre_v1.program ~secret ()
-      | `V4 -> Gb_attack.Spectre_v4.program ~secret ()
-    in
-    let config = build_config mode width mcb hot unroll cache_kib in
-    let o = Gb_attack.Runner.run ~config ~mode ~secret program in
-    Printf.printf "%s\n" (Format.asprintf "%a" Gb_attack.Runner.pp_outcome o);
-    print_result o.Gb_attack.Runner.result
+  let run variant mode secret width mcb hot unroll cache_kib trace_out
+      metrics_out profile =
+    match check_outputs trace_out metrics_out with
+    | Error e -> Error e
+    | Ok () ->
+      let program =
+        match variant with
+        | `V1 -> Gb_attack.Spectre_v1.program ~secret ()
+        | `V4 -> Gb_attack.Spectre_v4.program ~secret ()
+      in
+      let config = build_config mode width mcb hot unroll cache_kib in
+      let obs = sink_of_flags trace_out metrics_out profile in
+      let o = Gb_attack.Runner.run ~config ~obs ~mode ~secret program in
+      Printf.printf "%s\n" (Format.asprintf "%a" Gb_attack.Runner.pp_outcome o);
+      print_result o.Gb_attack.Runner.result;
+      emit_observability obs ~trace_out ~metrics_out ~profile;
+      Ok ()
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Run a Spectre proof-of-concept attack")
     Term.(
-      const run $ variant_arg $ mode_arg $ secret_arg $ width_arg $ mcb_arg
-      $ hot_arg $ unroll_arg $ cache_kib_arg)
+      term_result
+        (const run $ variant_arg $ mode_arg $ secret_arg $ width_arg $ mcb_arg
+        $ hot_arg $ unroll_arg $ cache_kib_arg $ trace_out_arg
+        $ metrics_out_arg $ profile_flag))
 
 (* --- trace -------------------------------------------------------------- *)
 

@@ -6,14 +6,14 @@ type outcome = {
   result : Gb_system.Processor.result;
 }
 
-let run ?config ~mode ~secret program =
+let run ?config ?obs ~mode ~secret program =
   let config =
     match config with
     | Some c -> c
     | None -> Gb_system.Processor.config_for mode
   in
   let asm = Gb_kernelc.Compile.assemble program in
-  let proc = Gb_system.Processor.create ~config asm in
+  let proc = Gb_system.Processor.create ~config ?obs asm in
   let result = Gb_system.Processor.run proc in
   let mem = Gb_system.Processor.mem proc in
   let len = String.length secret in

@@ -11,6 +11,7 @@ type outcome = {
 
 val run :
   ?config:Gb_system.Processor.config ->
+  ?obs:Gb_obs.Sink.t ->
   mode:Gb_core.Mitigation.mode ->
   secret:string ->
   Gb_kernelc.Ast.program ->

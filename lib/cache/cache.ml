@@ -17,11 +17,13 @@ type t = {
   last_use : int array array;  (** LRU timestamps *)
   mutable tick : int;
   stats : stats;
+  obs : Gb_obs.Sink.t;
+  mutable accesses_since_miss : int;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
-let create cfg =
+let create ?(obs = Gb_obs.Sink.noop) cfg =
   if not (is_pow2 cfg.line_bytes) then invalid_arg "Cache: line size";
   let sets = cfg.size_bytes / (cfg.line_bytes * cfg.ways) in
   if sets <= 0 || not (is_pow2 sets) then invalid_arg "Cache: geometry";
@@ -32,6 +34,8 @@ let create cfg =
     last_use = Array.init sets (fun _ -> Array.make cfg.ways 0);
     tick = 0;
     stats = { reads = 0; writes = 0; read_misses = 0; write_misses = 0; flushes = 0 };
+    obs;
+    accesses_since_miss = 0;
   }
 
 let config t = t.cfg
@@ -78,11 +82,26 @@ let touch_line t addr ~write =
     t.last_use.(set).(way) <- t.tick;
     if write then t.stats.write_misses <- t.stats.write_misses + 1
     else t.stats.read_misses <- t.stats.read_misses + 1;
+    if Gb_obs.Sink.is_active t.obs then begin
+      Gb_obs.Sink.incr t.obs
+        (if write then "cache.write_misses" else "cache.read_misses");
+      (* spacing between consecutive misses: log-scale buckets separate
+         streaming (every access misses) from resident working sets *)
+      Gb_obs.Sink.observe t.obs "cache.miss_distance"
+        (float_of_int t.accesses_since_miss);
+      t.accesses_since_miss <- 0;
+      Gb_obs.Sink.event t.obs ~pc:addr
+        (Gb_obs.Event.Cache_miss { addr; write })
+    end;
     false
 
 let access t ~addr ~write =
   if write then t.stats.writes <- t.stats.writes + 1
   else t.stats.reads <- t.stats.reads + 1;
+  if Gb_obs.Sink.is_active t.obs then begin
+    t.accesses_since_miss <- t.accesses_since_miss + 1;
+    Gb_obs.Sink.incr t.obs (if write then "cache.writes" else "cache.reads")
+  end;
   touch_line t addr ~write
 
 let access_range t ~addr ~size ~write =
@@ -100,6 +119,7 @@ let contains t addr =
 let flush_line t addr =
   let set, tag = set_and_tag t addr in
   t.stats.flushes <- t.stats.flushes + 1;
+  Gb_obs.Sink.incr t.obs "cache.flushes";
   match find_way t set tag with
   | Some way -> t.tags.(set).(way) <- -1
   | None -> ()

@@ -24,7 +24,10 @@ type stats = {
   mutable flushes : int;
 }
 
-val create : config -> t
+val create : ?obs:Gb_obs.Sink.t -> config -> t
+(** [obs] (default {!Gb_obs.Sink.noop}) receives [cache.*] counters, the
+    [cache.miss_distance] histogram (accesses between consecutive misses)
+    and a {!Gb_obs.Event.Cache_miss} event per allocated line. *)
 
 val config : t -> config
 

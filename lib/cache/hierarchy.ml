@@ -3,9 +3,10 @@ type config = { cache : Cache.config; hit_extra : int; miss_penalty : int }
 let default_config =
   { cache = Cache.default_config; hit_extra = 1; miss_penalty = 40 }
 
-type t = { cfg : config; l1d : Cache.t }
+type t = { cfg : config; l1d : Cache.t; obs : Gb_obs.Sink.t }
 
-let create cfg = { cfg; l1d = Cache.create cfg.cache }
+let create ?(obs = Gb_obs.Sink.noop) cfg =
+  { cfg; l1d = Cache.create ~obs cfg.cache; obs }
 
 let cache t = t.l1d
 
@@ -13,9 +14,17 @@ let config t = t.cfg
 
 let access t ~addr ~size ~write = Cache.access_range t.l1d ~addr ~size ~write
 
-let interp_cost t ~hit = if hit then t.cfg.hit_extra else t.cfg.miss_penalty
+let interp_cost t ~hit =
+  let cost = if hit then t.cfg.hit_extra else t.cfg.miss_penalty in
+  if Gb_obs.Sink.is_active t.obs then
+    Gb_obs.Sink.observe t.obs "cache.interp_stall_cycles" (float_of_int cost);
+  cost
 
-let vliw_cost t ~hit = if hit then 0 else t.cfg.miss_penalty
+let vliw_cost t ~hit =
+  let cost = if hit then 0 else t.cfg.miss_penalty in
+  if Gb_obs.Sink.is_active t.obs then
+    Gb_obs.Sink.observe t.obs "cache.vliw_stall_cycles" (float_of_int cost);
+  cost
 
 let flush_line t addr = Cache.flush_line t.l1d addr
 

@@ -17,7 +17,11 @@ val default_config : config
 
 type t
 
-val create : config -> t
+val create : ?obs:Gb_obs.Sink.t -> config -> t
+(** [obs] (default {!Gb_obs.Sink.noop}) is forwarded to the L1D (see
+    {!Cache.create}) and additionally receives per-access stall-cycle
+    histograms ([cache.interp_stall_cycles] / [cache.vliw_stall_cycles])
+    whose log-scale buckets separate the hit and miss clusters. *)
 
 val cache : t -> Cache.t
 

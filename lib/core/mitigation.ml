@@ -64,7 +64,7 @@ let insert_fence g ~lat id =
         else
           Gb_ir.Dfg.add_edge g ~from:fence ~to_:nid ~lat:1 ~kind:Gb_ir.Dfg.Ectrl)
 
-let apply mode ~lat g =
+let apply ?(obs = Gb_obs.Sink.noop) mode ~lat g =
   match mode with
   | Unsafe | No_speculation -> empty_report
   | Fine_grained | Fence_on_detect ->
@@ -81,6 +81,9 @@ let apply mode ~lat g =
         patterns_found := !patterns_found + List.length patterns;
         List.iter
           (fun id ->
+            Gb_obs.Sink.event obs
+              ~pc:(Gb_ir.Dfg.node g id).Gb_ir.Dfg.guest_pc
+              (Gb_obs.Event.Poison_flagged { node = id });
             (match mode with
             | Fence_on_detect ->
               insert_fence g ~lat id;
@@ -92,6 +95,16 @@ let apply mode ~lat g =
         fixpoint ()
     in
     fixpoint ();
+    if Gb_obs.Sink.is_active obs then begin
+      Gb_obs.Sink.incr obs ~by:!patterns_found "mitigation.patterns_found";
+      Gb_obs.Sink.incr obs ~by:!constrained "mitigation.loads_constrained";
+      Gb_obs.Sink.incr obs ~by:!fences "mitigation.fences_inserted";
+      Gb_obs.Sink.observe obs "mitigation.rounds" (float_of_int !rounds);
+      if !constrained > 0 then
+        Gb_obs.Sink.event obs
+          (Gb_obs.Event.Mitigation_applied
+             { constrained = !constrained; fences = !fences })
+    end;
     {
       patterns_found = !patterns_found;
       loads_constrained = !constrained;

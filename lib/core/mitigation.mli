@@ -30,7 +30,11 @@ type report = {
 
 val empty_report : report
 
-val apply : mode -> lat:Gb_ir.Latency.t -> Gb_ir.Dfg.t -> report
+val apply :
+  ?obs:Gb_obs.Sink.t -> mode -> lat:Gb_ir.Latency.t -> Gb_ir.Dfg.t -> report
 (** Run the poisoning analysis to fixpoint, constraining every detected
     pattern according to [mode]. After this returns, re-running
-    {!Poison.analyze} finds no pattern (verified by property tests). *)
+    {!Poison.analyze} finds no pattern (verified by property tests).
+    [obs] (default {!Gb_obs.Sink.noop}) receives [mitigation.*] counters,
+    one {!Gb_obs.Event.Poison_flagged} event per flagged load (pc = the
+    load's guest pc) and a {!Gb_obs.Event.Mitigation_applied} summary. *)

@@ -58,9 +58,10 @@ type t = {
   hot : (int, int) Hashtbl.t;
   branches : (int, int * int) Hashtbl.t;  (** pc -> (taken, total) *)
   stats : stats;
+  obs : Gb_obs.Sink.t;
 }
 
-let create cfg ~mem =
+let create ?(obs = Gb_obs.Sink.noop) cfg ~mem =
   {
     cfg;
     mem;
@@ -91,6 +92,7 @@ let create cfg ~mem =
         spec_loads = 0;
         branch_spec_loads = 0;
       };
+    obs;
   }
 
 let config t = t.cfg
@@ -128,7 +130,10 @@ let consider_despeculation t entry =
       Hashtbl.replace t.despeculated entry ();
       Hashtbl.remove t.cache entry;
       Hashtbl.remove t.blacklist entry;
-      t.stats.despeculations <- t.stats.despeculations + 1
+      t.stats.despeculations <- t.stats.despeculations + 1;
+      Gb_obs.Sink.incr t.obs "translate.despeculations";
+      Gb_obs.Sink.event t.obs ~pc:entry ~region:entry
+        (Gb_obs.Event.Tier_transition { tier = "despeculated" })
     end
   end
 
@@ -171,7 +176,10 @@ let consider_retranslation t entry =
         (fun pc -> Hashtbl.remove t.branches pc)
         (Option.value ~default:[] (Hashtbl.find_opt t.trace_branches entry));
       Hashtbl.replace t.hot entry (t.cfg.hot_threshold - relearn_window);
-      t.stats.retranslations <- t.stats.retranslations + 1
+      t.stats.retranslations <- t.stats.retranslations + 1;
+      Gb_obs.Sink.incr t.obs "translate.retranslations";
+      Gb_obs.Sink.event t.obs ~pc:entry ~region:entry
+        (Gb_obs.Event.Tier_transition { tier = "retranslate" })
     end
   end
 
@@ -199,11 +207,17 @@ let record_block_exit t ~entry info =
 let translate_first_pass t entry =
   if Hashtbl.mem t.blocks entry || Hashtbl.mem t.fp_blacklist entry then ()
   else
-    match First_pass.translate ~mem:t.mem ~entry with
+    match
+      Gb_obs.Sink.time t.obs "first_pass" (fun () ->
+          First_pass.translate ~mem:t.mem ~entry)
+    with
     | { First_pass.trace; branch_pc } ->
       Hashtbl.replace t.blocks entry trace;
       Hashtbl.replace t.block_meta entry branch_pc;
-      t.stats.first_pass_translations <- t.stats.first_pass_translations + 1
+      t.stats.first_pass_translations <- t.stats.first_pass_translations + 1;
+      Gb_obs.Sink.incr t.obs "translate.first_pass";
+      Gb_obs.Sink.event t.obs ~pc:entry ~region:entry
+        (Gb_obs.Event.Tier_transition { tier = "block" })
     | exception First_pass.Untranslatable _ ->
       Hashtbl.replace t.fp_blacklist entry ()
 
@@ -234,12 +248,30 @@ let translate t entry =
   | None ->
     if Hashtbl.mem t.blacklist entry then None
     else begin
+      let obs = t.obs in
+      Gb_obs.Sink.event obs ~pc:entry ~region:entry
+        Gb_obs.Event.Translate_start;
       let result =
         try
           let profile pc = Hashtbl.find_opt t.branches pc in
           let gtrace =
-            Trace_builder.build t.cfg.trace_cfg ~mem:t.mem ~profile ~entry
+            Gb_obs.Sink.time obs "trace_build" (fun () ->
+                Trace_builder.build t.cfg.trace_cfg ~mem:t.mem ~profile ~entry)
           in
+          let branch_pcs =
+            List.filter_map
+              (fun st ->
+                match st.Gb_ir.Gtrace.insn with
+                | Gb_riscv.Insn.Branch _ -> Some st.Gb_ir.Gtrace.pc
+                | _ -> None)
+              gtrace.Gb_ir.Gtrace.steps
+          in
+          Gb_obs.Sink.event obs ~pc:entry ~region:entry
+            (Gb_obs.Event.Trace_formed
+               {
+                 guest_insns = Gb_ir.Gtrace.length gtrace;
+                 branches = List.length branch_pcs;
+               });
           let opt =
             match t.cfg.opt_override with
             | Some opt -> opt
@@ -250,23 +282,25 @@ let translate t entry =
               { opt with Gb_ir.Opt_config.mem_spec = false; mcb_tags = 0 }
             else opt
           in
-          let g = Gb_ir.Build.build ~opt ~lat:t.cfg.lat gtrace in
-          let report = Gb_core.Mitigation.apply t.cfg.mode ~lat:t.cfg.lat g in
-          let cycles = Sched.schedule t.cfg.resources ~lat:t.cfg.lat g in
+          let g =
+            Gb_obs.Sink.time obs "ir_build" (fun () ->
+                Gb_ir.Build.build ~opt ~lat:t.cfg.lat gtrace)
+          in
+          let report =
+            Gb_obs.Sink.time obs "poison_analysis" (fun () ->
+                Gb_core.Mitigation.apply ~obs t.cfg.mode ~lat:t.cfg.lat g)
+          in
+          let cycles =
+            Gb_obs.Sink.time obs "schedule" (fun () ->
+                Sched.schedule ~obs t.cfg.resources ~lat:t.cfg.lat g)
+          in
           let meta = graph_meta g report in
           let trace =
-            Codegen.emit t.cfg.resources ~n_hidden:t.cfg.n_hidden ~cycles
-              ~entry_pc:entry
-              ~guest_insns:(Gb_ir.Gtrace.length gtrace)
-              ~meta g
-          in
-          let branch_pcs =
-            List.filter_map
-              (fun st ->
-                match st.Gb_ir.Gtrace.insn with
-                | Gb_riscv.Insn.Branch _ -> Some st.Gb_ir.Gtrace.pc
-                | _ -> None)
-              gtrace.Gb_ir.Gtrace.steps
+            Gb_obs.Sink.time obs "codegen" (fun () ->
+                Codegen.emit t.cfg.resources ~n_hidden:t.cfg.n_hidden ~cycles
+                  ~entry_pc:entry
+                  ~guest_insns:(Gb_ir.Gtrace.length gtrace)
+                  ~meta g)
           in
           Some (trace, report, Gb_ir.Gtrace.length gtrace, branch_pcs)
         with
@@ -294,10 +328,33 @@ let translate t entry =
         s.branch_spec_loads <-
           s.branch_spec_loads
           + trace.Gb_vliw.Vinsn.meta.Gb_vliw.Vinsn.branch_spec_loads;
+        if Gb_obs.Sink.is_active obs then begin
+          Gb_obs.Sink.incr obs "translate.translations";
+          Gb_obs.Sink.incr obs ~by:len "translate.guest_insns";
+          Gb_obs.Sink.observe obs "translate.trace_guest_insns"
+            (float_of_int len);
+          let meta = trace.Gb_vliw.Vinsn.meta in
+          if meta.Gb_vliw.Vinsn.spec_loads > 0
+             || meta.Gb_vliw.Vinsn.branch_spec_loads > 0
+          then
+            Gb_obs.Sink.event obs ~pc:entry ~region:entry
+              (Gb_obs.Event.Load_hoisted
+                 {
+                   spec_loads = meta.Gb_vliw.Vinsn.spec_loads;
+                   past_branch = meta.Gb_vliw.Vinsn.branch_spec_loads;
+                 });
+          Gb_obs.Sink.event obs ~pc:entry ~region:entry
+            (Gb_obs.Event.Tier_transition { tier = "trace" });
+          Gb_obs.Sink.event obs ~pc:entry ~region:entry
+            (Gb_obs.Event.Translate_end { ok = true })
+        end;
         Some trace
       | None ->
         Hashtbl.replace t.blacklist entry ();
         t.stats.failures <- t.stats.failures + 1;
+        Gb_obs.Sink.incr obs "translate.failures";
+        Gb_obs.Sink.event obs ~pc:entry ~region:entry
+          (Gb_obs.Event.Translate_end { ok = false });
         None
     end
 

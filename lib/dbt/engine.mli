@@ -57,7 +57,11 @@ type stats = {
 
 type t
 
-val create : config -> mem:Gb_riscv.Mem.t -> t
+val create : ?obs:Gb_obs.Sink.t -> config -> mem:Gb_riscv.Mem.t -> t
+(** [obs] (default {!Gb_obs.Sink.noop}) receives the [translate.*]
+    counters, per-phase host timers (first_pass, trace_build, ir_build,
+    poison_analysis, schedule, codegen) and the translation lifecycle
+    events ({!Gb_obs.Event.Translate_start} .. {!Gb_obs.Event.Tier_transition}). *)
 
 val config : t -> config
 

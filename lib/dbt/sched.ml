@@ -57,7 +57,7 @@ let topo_order n succs preds =
   if !seen <> n then raise Cyclic;
   List.rev !order
 
-let schedule res ~lat g =
+let schedule ?(obs = Gb_obs.Sink.noop) res ~lat g =
   let n = Gb_ir.Dfg.n_nodes g in
   let succs, preds = adjacency g ~lat in
   let order = topo_order n succs preds in
@@ -148,4 +148,8 @@ let schedule res ~lat g =
     fill [];
     incr c
   done;
+  if Gb_obs.Sink.is_active obs then begin
+    Gb_obs.Sink.observe obs "sched.nodes" (float_of_int n);
+    Gb_obs.Sink.observe obs "sched.schedule_cycles" (float_of_int !c)
+  end;
   cycle

@@ -21,6 +21,13 @@ val classify : Gb_ir.Dfg.kind -> cls
 exception Cyclic
 (** The graph has a dependency cycle (an IR construction bug). *)
 
-val schedule : resources -> lat:Gb_ir.Latency.t -> Gb_ir.Dfg.t -> int array
+val schedule :
+  ?obs:Gb_obs.Sink.t ->
+  resources ->
+  lat:Gb_ir.Latency.t ->
+  Gb_ir.Dfg.t ->
+  int array
 (** [schedule r ~lat g] returns the issue cycle of every node. For every
-    edge (u, v, l): [cycle.(v) >= cycle.(u) + l] (property-tested). *)
+    edge (u, v, l): [cycle.(v) >= cycle.(u) + l] (property-tested).
+    [obs] (default {!Gb_obs.Sink.noop}) receives [sched.nodes] and
+    [sched.schedule_cycles] histograms per scheduled graph. *)

@@ -1,0 +1,58 @@
+(** Metrics registry: named monotonic counters, gauges and log-scale
+    histograms, snapshotable to {!Gb_util.Json}.
+
+    Naming convention (see docs/OBSERVABILITY.md): dot-separated
+    [subsystem.metric] in snake_case, e.g. [translate.translations],
+    [cache.read_misses], [vliw.rollbacks]. Instruments are created lazily
+    on first use; reading an instrument that was never touched yields the
+    identity value (0 for counters, [None] for gauges/histograms). *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** [seed] feeds the deterministic reservoir sampler used for histogram
+    percentiles (default 1). *)
+
+(** {2 Counters} *)
+
+val incr : t -> ?by:int -> string -> unit
+(** Add [by] (default 1) to a monotonic counter. Negative increments are
+    rejected with [Invalid_argument]. *)
+
+val counter_value : t -> string -> int
+(** 0 when the counter was never incremented. *)
+
+(** {2 Gauges} *)
+
+val set_gauge : t -> string -> float -> unit
+
+val gauge_value : t -> string -> float option
+
+(** {2 Histograms} *)
+
+val observe : t -> string -> float -> unit
+(** Record one sample into a base-2 log-scale histogram. Also feeds a
+    bounded deterministic reservoir from which percentile summaries are
+    computed with {!Gb_util.Stats.percentile}. *)
+
+type histogram_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_mean : float;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
+  h_buckets : (float * int) list;
+      (** (upper bound, samples <= bound in this bucket), non-empty buckets
+          only, increasing bounds; the bound of bucket [i>0] is [2^i] *)
+}
+
+val histogram_snapshot : t -> string -> histogram_snapshot option
+
+(** {2 Snapshots} *)
+
+val to_json : t -> Gb_util.Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] with keys
+    sorted alphabetically (deterministic output). *)

@@ -1,0 +1,43 @@
+type 'a t = {
+  data : 'a option array;
+  mutable next : int;  (** slot the next push writes *)
+  mutable pushed : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be > 0";
+  { data = Array.make capacity None; next = 0; pushed = 0 }
+
+let capacity t = Array.length t.data
+
+let push t x =
+  t.data.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod Array.length t.data;
+  t.pushed <- t.pushed + 1
+
+let length t = min t.pushed (Array.length t.data)
+
+let pushed t = t.pushed
+
+let dropped t = max 0 (t.pushed - Array.length t.data)
+
+let iter f t =
+  let cap = Array.length t.data in
+  let n = length t in
+  (* oldest element: [next - n] modulo capacity *)
+  let start = ((t.next - n) mod cap + cap) mod cap in
+  for i = 0 to n - 1 do
+    match t.data.((start + i) mod cap) with
+    | Some x -> f x
+    | None -> ()
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.next <- 0;
+  t.pushed <- 0

@@ -1,0 +1,29 @@
+(** Bounded ring buffer: pushes past the capacity overwrite the oldest
+    element. Used to keep the most recent trace events of a run without
+    unbounded memory growth. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity]; capacity must be > 0. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+val length : 'a t -> int
+(** Elements currently retained (min of pushes and capacity). *)
+
+val pushed : 'a t -> int
+(** Total pushes since creation. *)
+
+val dropped : 'a t -> int
+(** Pushes that overwrote an older element: [max 0 (pushed - capacity)]. *)
+
+val to_list : 'a t -> 'a list
+(** Retained elements, oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val clear : 'a t -> unit

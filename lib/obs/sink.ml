@@ -1,0 +1,87 @@
+type active = {
+  metrics : Metrics.t;
+  events : Event.t Ring.t;
+  timers : Timer.t;
+  mutable cycle_source : unit -> int64;
+}
+
+type t = Noop | Active of active
+
+let noop = Noop
+
+let create ?(ring_capacity = 65536) ?span_capacity ?seed () =
+  Active
+    {
+      metrics = Metrics.create ?seed ();
+      events = Ring.create ring_capacity;
+      timers = Timer.create ?span_capacity ();
+      cycle_source = (fun () -> 0L);
+    }
+
+let is_active = function Noop -> false | Active _ -> true
+
+let set_cycle_source t f =
+  match t with Noop -> () | Active a -> a.cycle_source <- f
+
+let event t ?(pc = 0) ?(region = 0) kind =
+  match t with
+  | Noop -> ()
+  | Active a ->
+    Ring.push a.events { Event.kind; pc; region; cycle = a.cycle_source () }
+
+let incr t ?by name =
+  match t with Noop -> () | Active a -> Metrics.incr a.metrics ?by name
+
+let set_gauge t name v =
+  match t with Noop -> () | Active a -> Metrics.set_gauge a.metrics name v
+
+let observe t name v =
+  match t with Noop -> () | Active a -> Metrics.observe a.metrics name v
+
+let time t phase f =
+  match t with Noop -> f () | Active a -> Timer.time a.timers phase f
+
+let metrics = function Noop -> None | Active a -> Some a.metrics
+
+let events = function Noop -> [] | Active a -> Ring.to_list a.events
+
+let dropped_events = function Noop -> 0 | Active a -> Ring.dropped a.events
+
+let timer_totals = function Noop -> [] | Active a -> Timer.totals a.timers
+
+let metrics_json t =
+  let module J = Gb_util.Json in
+  match t with
+  | Noop -> J.Obj []
+  | Active a ->
+    let phases =
+      List.map
+        (fun { Timer.t_phase; t_calls; t_total_us } ->
+          ( t_phase,
+            J.Obj [ ("calls", J.Int t_calls); ("total_us", J.Float t_total_us) ]
+          ))
+        (Timer.totals a.timers)
+    in
+    let base =
+      match Metrics.to_json a.metrics with
+      | J.Obj fields -> fields
+      | other -> [ ("metrics", other) ]
+    in
+    J.Obj
+      (base
+      @ [
+          ("host_phases", J.Obj phases);
+          ( "events",
+            J.Obj
+              [
+                ("retained", J.Int (Ring.length a.events));
+                ("dropped", J.Int (Ring.dropped a.events));
+              ] );
+        ])
+
+let trace_json t =
+  match t with
+  | Noop -> Trace_export.to_json ~events:[] ~spans:[]
+  | Active a ->
+    Trace_export.to_json ~events:(Ring.to_list a.events)
+      ~spans:(Timer.spans a.timers)

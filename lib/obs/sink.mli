@@ -1,0 +1,62 @@
+(** The observability handle threaded through the simulator.
+
+    A sink is either {!noop} — the default everywhere, a single word whose
+    record operations return immediately, so untouched callers and
+    benchmarks pay nothing — or active, in which case it owns a metrics
+    registry ({!Metrics}), a bounded ring of typed events ({!Event}) and
+    the host-side phase timers ({!Timer}).
+
+    Hot paths (the cache, the pipeline) guard payload construction with
+    {!is_active} so that the noop case does not even allocate the event. *)
+
+type t
+
+val noop : t
+(** Discards everything at unit cost. *)
+
+val create : ?ring_capacity:int -> ?span_capacity:int -> ?seed:int64 -> unit -> t
+(** An active sink. Default ring capacity 65536 events; [seed] feeds the
+    histogram reservoirs (see {!Metrics.create}). *)
+
+val is_active : t -> bool
+
+val set_cycle_source : t -> (unit -> int64) -> unit
+(** Install the simulated-clock reader used to timestamp events (the
+    processor wires this to its cycle counter). Until set, events are
+    stamped with cycle 0. No-op on {!noop}. *)
+
+(** {2 Recording} *)
+
+val event : t -> ?pc:int -> ?region:int -> Event.kind -> unit
+
+val incr : t -> ?by:int -> string -> unit
+(** Bump a monotonic counter. *)
+
+val set_gauge : t -> string -> float -> unit
+
+val observe : t -> string -> float -> unit
+(** Record a histogram sample. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Wall-clock a host-side DBT phase; on {!noop} this is just [f ()]. *)
+
+(** {2 Reading} *)
+
+val metrics : t -> Metrics.t option
+(** [None] on {!noop}. *)
+
+val events : t -> Event.t list
+(** Retained events, oldest first; [] on {!noop}. *)
+
+val dropped_events : t -> int
+
+val timer_totals : t -> Timer.total list
+
+val metrics_json : t -> Gb_util.Json.t
+(** The {!Metrics.to_json} snapshot extended with a ["host_phases"] object
+    (wall-clock totals per DBT phase) and ["events"] retention counts.
+    [Obj []] on {!noop}. *)
+
+val trace_json : t -> Gb_util.Json.t
+(** The event ring and timer spans in Chrome [trace_event] JSON format
+    (see {!Trace_export.to_json}); an empty trace on {!noop}. *)

@@ -1,0 +1,25 @@
+(** Wall-clock phase timers for the host-side DBT work (first pass, trace
+    building, poison analysis, scheduling, codegen). Aggregated totals per
+    phase plus a bounded ring of individual spans for the Chrome trace
+    export. Timestamps are relative to timer creation, in microseconds. *)
+
+type span = { sp_phase : string; sp_start_us : float; sp_dur_us : float }
+
+type t
+
+val create : ?span_capacity:int -> unit -> t
+(** Default span capacity 8192. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t phase f] runs [f] and records its wall-clock duration under
+    [phase]; records even when [f] raises. Nested calls are allowed. *)
+
+type total = { t_phase : string; t_calls : int; t_total_us : float }
+
+val totals : t -> total list
+(** One row per phase, longest total first. *)
+
+val spans : t -> span list
+(** Retained spans, oldest first (completion order). *)
+
+val dropped_spans : t -> int

@@ -1,0 +1,87 @@
+let guest_pid = 1
+
+let host_pid = 2
+
+let meta_events =
+  let module J = Gb_util.Json in
+  let process pid name =
+    J.Obj
+      [
+        ("name", J.String "process_name");
+        ("ph", J.String "M");
+        ("pid", J.Int pid);
+        ("tid", J.Int 0);
+        ("args", J.Obj [ ("name", J.String name) ]);
+      ]
+  in
+  [
+    process guest_pid "guest (ts = simulated cycles)";
+    process host_pid "dbt-host (ts = wall-clock us)";
+  ]
+
+(* One track per region keeps a region's translate/rollback/miss history
+   on its own horizontal line. tid 0 is reserved for unattributed events. *)
+let thread_name_events events =
+  let module J = Gb_util.Json in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Event.t) ->
+      if e.Event.region <> 0 && not (Hashtbl.mem seen e.Event.region) then
+        Hashtbl.add seen e.Event.region ())
+    events;
+  Hashtbl.fold
+    (fun region () acc ->
+      J.Obj
+        [
+          ("name", J.String "thread_name");
+          ("ph", J.String "M");
+          ("pid", J.Int guest_pid);
+          ("tid", J.Int region);
+          ("args", J.Obj [ ("name", J.String (Printf.sprintf "region 0x%x" region)) ]);
+        ]
+      :: acc)
+    seen []
+  |> List.sort compare
+
+let guest_event (e : Event.t) =
+  let module J = Gb_util.Json in
+  J.Obj
+    [
+      ("name", J.String (Event.name e.Event.kind));
+      ("cat", J.String "guest");
+      ("ph", J.String "i");
+      ("s", J.String "t");  (* thread-scoped instant *)
+      ("ts", J.Int (Int64.to_int e.Event.cycle));
+      ("pid", J.Int guest_pid);
+      ("tid", J.Int e.Event.region);
+      ( "args",
+        J.Obj
+          ([ ("pc", J.Int e.Event.pc); ("region", J.Int e.Event.region) ]
+          @ Event.args e.Event.kind) );
+    ]
+
+let host_span (s : Timer.span) =
+  let module J = Gb_util.Json in
+  J.Obj
+    [
+      ("name", J.String s.Timer.sp_phase);
+      ("cat", J.String "dbt");
+      ("ph", J.String "X");
+      ("ts", J.Float s.Timer.sp_start_us);
+      ("dur", J.Float s.Timer.sp_dur_us);
+      ("pid", J.Int host_pid);
+      ("tid", J.Int 1);
+    ]
+
+let to_json ~events ~spans =
+  let module J = Gb_util.Json in
+  J.Obj
+    [
+      ( "traceEvents",
+        J.List
+          (meta_events
+          @ thread_name_events events
+          @ List.map guest_event events
+          @ List.map host_span spans) );
+      ("displayTimeUnit", J.String "ms");
+    ]

@@ -1,0 +1,16 @@
+(** Chrome [trace_event]-format JSON export, loadable directly in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    Two synthetic processes keep the two timebases apart:
+
+    - pid 1, "guest": the typed simulator events as instant events whose
+      timestamp is the {e simulated cycle} (displayed as a microsecond);
+      one thread (tid) per region, so each translated region gets its own
+      track.
+    - pid 2, "dbt-host": the wall-clock phase spans of the DBT software
+      layer as complete ("X") events in real microseconds since sink
+      creation. *)
+
+val to_json :
+  events:Event.t list -> spans:Timer.span list -> Gb_util.Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms", ...}]. *)

@@ -47,13 +47,30 @@ type t = {
   interp : Gb_riscv.Interp.t;
   machine : Gb_vliw.Machine.t;
   engine : Gb_dbt.Engine.t;
+  obs : Gb_obs.Sink.t;
 }
 
-let create ?(config = default_config) program =
+let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop) program =
   let mem = Gb_riscv.Mem.create ~size:config.mem_size in
   Gb_riscv.Asm.load mem program;
   let clock = ref 0L in
-  let hier = Gb_cache.Hierarchy.create config.hier in
+  (* every component stamps its events with the shared simulated clock *)
+  Gb_obs.Sink.set_cycle_source obs (fun () -> !clock);
+  (* pre-register the canonical counters so snapshots always carry them,
+     even when a run never fires the corresponding path *)
+  if Gb_obs.Sink.is_active obs then
+    List.iter
+      (fun name -> Gb_obs.Sink.incr obs ~by:0 name)
+      [
+        "translate.translations"; "translate.first_pass";
+        "translate.failures"; "translate.retranslations";
+        "translate.despeculations"; "translate.guest_insns";
+        "mitigation.patterns_found"; "mitigation.loads_constrained";
+        "mitigation.fences_inserted"; "vliw.trace_runs"; "vliw.side_exits";
+        "vliw.rollbacks"; "vliw.mcb_conflicts"; "cache.reads"; "cache.writes";
+        "cache.read_misses"; "cache.write_misses"; "cache.flushes";
+      ];
+  let hier = Gb_cache.Hierarchy.create ~obs config.hier in
   let regs =
     Array.make
       (Gb_vliw.Vinsn.guest_regs + config.machine.Gb_vliw.Machine.n_hidden)
@@ -74,16 +91,18 @@ let create ?(config = default_config) program =
       ~pc:program.Gb_riscv.Asm.entry ()
   in
   let machine =
-    Gb_vliw.Machine.create ~cfg:config.machine ~mem ~hier ~clock ~regs ()
+    Gb_vliw.Machine.create ~cfg:config.machine ~mem ~hier ~clock ~regs ~obs ()
   in
-  let engine = Gb_dbt.Engine.create config.engine ~mem in
-  { cfg = config; mem; clock; hier; interp; machine; engine }
+  let engine = Gb_dbt.Engine.create ~obs config.engine ~mem in
+  { cfg = config; mem; clock; hier; interp; machine; engine; obs }
 
 let mem t = t.mem
 
 let hierarchy t = t.hier
 
 let engine t = t.engine
+
+let obs t = t.obs
 
 let result_of t exit_code =
   let ms = t.machine.Gb_vliw.Machine.stats in
@@ -134,6 +153,6 @@ let run t =
   in
   loop ()
 
-let run_program ?config program =
-  let t = create ?config program in
+let run_program ?config ?obs program =
+  let t = create ?config ?obs program in
   run t

@@ -37,7 +37,11 @@ type result = {
 
 type t
 
-val create : ?config:config -> Gb_riscv.Asm.program -> t
+val create :
+  ?config:config -> ?obs:Gb_obs.Sink.t -> Gb_riscv.Asm.program -> t
+(** [obs] (default {!Gb_obs.Sink.noop}) is threaded into the cache
+    hierarchy, the VLIW machine and the DBT engine, and wired to the
+    shared simulated clock so events carry cycle timestamps. *)
 
 val mem : t -> Gb_riscv.Mem.t
 
@@ -45,10 +49,13 @@ val hierarchy : t -> Gb_cache.Hierarchy.t
 
 val engine : t -> Gb_dbt.Engine.t
 
+val obs : t -> Gb_obs.Sink.t
+(** The sink passed at creation ({!Gb_obs.Sink.noop} by default). *)
+
 val run : t -> result
 (** Run to the exit ecall. Raises {!Gb_riscv.Interp.Trap} on guest errors
     or when [max_cycles] is exceeded. *)
 
 val run_program :
-  ?config:config -> Gb_riscv.Asm.program -> result
+  ?config:config -> ?obs:Gb_obs.Sink.t -> Gb_riscv.Asm.program -> result
 (** [create] + [run]. *)

@@ -20,6 +20,7 @@ type t = {
   cache_writes : int;
   cache_write_miss_rate : float;
   regions : region_row list;
+  metrics : Gb_util.Json.t;
 }
 
 let region_row (r : Gb_dbt.Engine.region) =
@@ -66,6 +67,7 @@ let of_processor proc (result : Processor.result) =
     cache_writes = stats.Gb_cache.Cache.writes;
     cache_write_miss_rate = rate stats.Gb_cache.Cache.write_misses stats.Gb_cache.Cache.writes;
     regions;
+    metrics = Gb_obs.Sink.metrics_json (Processor.obs proc);
   }
 
 let pp ?(max_regions = 10) ppf t =
@@ -140,4 +142,5 @@ let to_json t =
                    ("patterns", J.Int row.patterns);
                  ])
              t.regions) );
+      ("metrics", t.metrics);
     ]

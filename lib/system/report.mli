@@ -26,6 +26,9 @@ type t = {
   cache_writes : int;
   cache_write_miss_rate : float;
   regions : region_row list;  (** hottest first *)
+  metrics : Gb_util.Json.t;
+      (** {!Gb_obs.Sink.metrics_json} snapshot of the processor's sink;
+          [Obj []] when the run used the noop sink *)
 }
 
 val of_processor : Processor.t -> Processor.result -> t

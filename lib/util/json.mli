@@ -1,5 +1,6 @@
-(** Minimal JSON encoder (no external dependencies) used to export
-    experiment results in machine-readable form. *)
+(** Minimal JSON encoder and parser (no external dependencies) used to
+    export experiment results in machine-readable form and to round-trip
+    them in tests. *)
 
 type t =
   | Null
@@ -15,3 +16,10 @@ val to_string : t -> string
 
 val to_string_pretty : t -> string
 (** Two-space indented encoding. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (object key order is preserved). Numbers
+    without a fraction or exponent parse as [Int] — so values produced by
+    {!to_string}, which prints floats with a decimal point, round-trip
+    exactly; [\u] escapes decode to UTF-8. [Error] carries a message with
+    the byte offset of the failure. *)

@@ -21,6 +21,10 @@ let median = function
 let percentile p = function
   | [] -> 0.
   | xs ->
+    (* nearest-rank on the sorted sample; clamp p so callers feeding
+       computed (possibly out-of-range or NaN) fractions get the nearest
+       order statistic instead of an out-of-bounds index *)
+    let p = if Float.is_nan p then 0. else Float.max 0. (Float.min 1. p) in
     let arr = Array.of_list (sorted xs) in
     let n = Array.length arr in
     let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in

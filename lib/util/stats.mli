@@ -11,7 +11,11 @@ val median : float list -> float
     0. on the empty list. *)
 
 val percentile : float -> float list -> float
-(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank; 0. on []. *)
+(** [percentile p xs], nearest-rank convention: the smallest element of
+    [xs] such that at least [p * length] elements are <= it (so
+    [percentile 0.] is the minimum and [percentile 1.] the maximum, with
+    no interpolation between order statistics). [p] is clamped to
+    [\[0,1\]] (NaN counts as 0.); 0. on the empty list. *)
 
 val min_max : float list -> float * float
 (** (min, max); (0., 0.) on the empty list. *)

@@ -18,9 +18,11 @@ type t = {
   clock : int64 ref;
   mcb : Mcb.t;
   stats : stats;
+  obs : Gb_obs.Sink.t;
 }
 
-let create ?(cfg = default_config) ~mem ~hier ~clock ?regs () =
+let create ?(cfg = default_config) ~mem ~hier ~clock ?regs
+    ?(obs = Gb_obs.Sink.noop) () =
   let regs =
     match regs with
     | Some r ->
@@ -34,8 +36,9 @@ let create ?(cfg = default_config) ~mem ~hier ~clock ?regs () =
     mem;
     hier;
     clock;
-    mcb = Mcb.create ~entries:cfg.mcb_entries;
+    mcb = Mcb.create ~obs ~entries:cfg.mcb_entries ();
     stats =
       { bundles = 0L; trace_runs = 0L; side_exits = 0L; rollbacks = 0L;
         stall_cycles = 0L };
+    obs;
   }

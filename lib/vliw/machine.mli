@@ -26,6 +26,7 @@ type t = {
   clock : int64 ref;
   mcb : Mcb.t;
   stats : stats;
+  obs : Gb_obs.Sink.t;
 }
 
 val create :
@@ -34,7 +35,10 @@ val create :
   hier:Gb_cache.Hierarchy.t ->
   clock:int64 ref ->
   ?regs:int64 array ->
+  ?obs:Gb_obs.Sink.t ->
   unit ->
   t
 (** [regs], when provided, must be at least [32 + cfg.n_hidden] long (it is
-    shared with the interpreter, which only uses the first 32 slots). *)
+    shared with the interpreter, which only uses the first 32 slots).
+    [obs] (default {!Gb_obs.Sink.noop}) receives the [vliw.*] counters and
+    rollback/conflict events of {!Pipeline} and {!Mcb}. *)

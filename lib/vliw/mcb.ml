@@ -4,15 +4,17 @@ type t = {
   live : bool array;
   conflict : bool array;
   mutable total_conflicts : int;
+  obs : Gb_obs.Sink.t;
 }
 
-let create ~entries =
+let create ?(obs = Gb_obs.Sink.noop) ~entries () =
   {
     addrs = Array.make entries 0;
     sizes = Array.make entries 0;
     live = Array.make entries false;
     conflict = Array.make entries false;
     total_conflicts = 0;
+    obs;
   }
 
 let entries t = Array.length t.addrs
@@ -35,7 +37,11 @@ let store_probe t ~addr ~size =
        && overlap addr size t.addrs.(tag) t.sizes.(tag)
     then begin
       t.conflict.(tag) <- true;
-      t.total_conflicts <- t.total_conflicts + 1
+      t.total_conflicts <- t.total_conflicts + 1;
+      if Gb_obs.Sink.is_active t.obs then begin
+        Gb_obs.Sink.incr t.obs "vliw.mcb_conflicts";
+        Gb_obs.Sink.event t.obs ~pc:addr (Gb_obs.Event.Mcb_conflict { addr })
+      end
     end
   done
 

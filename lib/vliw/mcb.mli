@@ -6,7 +6,9 @@
 
 type t
 
-val create : entries:int -> t
+val create : ?obs:Gb_obs.Sink.t -> entries:int -> unit -> t
+(** [obs] (default {!Gb_obs.Sink.noop}) receives a [vliw.mcb_conflicts]
+    counter and a {!Gb_obs.Event.Mcb_conflict} event per marked entry. *)
 
 val entries : t -> int
 

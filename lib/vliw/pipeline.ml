@@ -24,6 +24,7 @@ let run (m : Machine.t) (trace : Vinsn.trace) =
   in
   Mcb.clear m.mcb;
   m.stats.trace_runs <- Int64.add m.stats.trace_runs 1L;
+  Gb_obs.Sink.incr m.obs "vliw.trace_runs";
   let writes = Array.make (width * 2) (-1, 0L) in
   let n_writes = ref 0 in
   let push_write dst v =
@@ -89,7 +90,7 @@ let run (m : Machine.t) (trace : Vinsn.trace) =
       if addr >= 0 then Gb_cache.Hierarchy.flush_line m.hier addr
     | Exit { stub } -> take stub Fallthrough
   in
-  let finish stub_idx kind =
+  let finish ~bundle_idx stub_idx kind =
     let stub = trace.stubs.(stub_idx) in
     List.iter
       (fun (dst, src) ->
@@ -111,6 +112,17 @@ let run (m : Machine.t) (trace : Vinsn.trace) =
     | Side_exit -> m.stats.side_exits <- Int64.add m.stats.side_exits 1L
     | Rollback -> m.stats.rollbacks <- Int64.add m.stats.rollbacks 1L
     | Fallthrough -> ());
+    if Gb_obs.Sink.is_active m.obs then begin
+      let region = trace.entry_pc in
+      (match kind with
+      | Side_exit -> Gb_obs.Sink.incr m.obs "vliw.side_exits"
+      | Rollback ->
+        Gb_obs.Sink.incr m.obs "vliw.rollbacks";
+        Gb_obs.Sink.event m.obs ~pc:stub.target_pc ~region Gb_obs.Event.Rollback
+      | Fallthrough -> Gb_obs.Sink.incr m.obs "vliw.fallthroughs");
+      (* how deep into the trace the run got before leaving *)
+      Gb_obs.Sink.observe m.obs "vliw.exit_bundle" (float_of_int (bundle_idx + 1))
+    end;
     { next_pc = stub.target_pc; kind }
   in
   let n = Array.length trace.bundles in
@@ -131,7 +143,7 @@ let run (m : Machine.t) (trace : Vinsn.trace) =
       m.stats.stall_cycles <- Int64.add m.stats.stall_cycles (Int64.of_int !stall);
       m.clock := Int64.add !(m.clock) (Int64.of_int (1 + !stall));
       match !taken_stub with
-      | Some (stub, kind) -> finish stub kind
+      | Some (stub, kind) -> finish ~bundle_idx:i stub kind
       | None -> cycle (i + 1)
     end
   in

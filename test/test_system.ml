@@ -214,6 +214,36 @@ let report_is_consistent () =
   let json = Gb_util.Json.to_string (Gb_system.Report.to_json report) in
   Alcotest.(check bool) "json non-trivial" true (String.length json > 100)
 
+(* Regression: the report JSON (including the embedded metrics snapshot
+   from an active observability sink) must round-trip through our own
+   parser unchanged. *)
+let report_json_roundtrip () =
+  let program = aliasing_program 600 in
+  let obs = Gb_obs.Sink.create () in
+  let proc =
+    Gb_system.Processor.create
+      ~config:(Gb_system.Processor.config_for Gb_core.Mitigation.Fine_grained)
+      ~obs program
+  in
+  let result = Gb_system.Processor.run proc in
+  let report = Gb_system.Report.of_processor proc result in
+  let json = Gb_system.Report.to_json report in
+  (match json with
+  | Gb_util.Json.Obj fields ->
+    (match List.assoc_opt "metrics" fields with
+    | Some (Gb_util.Json.Obj mfields) ->
+      Alcotest.(check bool) "metrics snapshot has counters" true
+        (List.mem_assoc "counters" mfields)
+    | _ -> Alcotest.fail "report carries no metrics object")
+  | _ -> Alcotest.fail "report JSON is not an object");
+  let compact = Gb_util.Json.to_string json in
+  (match Gb_util.Json.of_string compact with
+  | Ok v -> Alcotest.(check bool) "compact round-trips" true (v = json)
+  | Error e -> Alcotest.failf "compact form does not parse: %s" e);
+  match Gb_util.Json.of_string (Gb_util.Json.to_string_pretty json) with
+  | Ok v -> Alcotest.(check bool) "pretty round-trips" true (v = json)
+  | Error e -> Alcotest.failf "pretty form does not parse: %s" e
+
 (* Differential property: a random register/memory loop body produces the
    same architectural result on the interpreter and on the full processor
    under every mitigation mode. *)
@@ -309,6 +339,8 @@ let () =
           Alcotest.test_case "speculation engages" `Quick speculation_engages;
           Alcotest.test_case "no-speculation is slower" `Quick no_spec_is_slower;
           Alcotest.test_case "report is consistent" `Quick report_is_consistent;
+          Alcotest.test_case "report JSON round-trips" `Quick
+            report_json_roundtrip;
           Alcotest.test_case "tier upgrade" `Quick tier_upgrade;
           Alcotest.test_case "adaptive retranslation" `Quick
             adaptive_retranslation;

@@ -50,6 +50,28 @@ let percentile_prop =
       let lo, hi = Gb_util.Stats.min_max xs in
       v >= lo && v <= hi)
 
+let percentile_nearest_rank () =
+  let xs = [ 10.; 20.; 30.; 40. ] in
+  let p q = Gb_util.Stats.percentile q xs in
+  Alcotest.(check (float 1e-9)) "p0 is the minimum" 10. (p 0.);
+  Alcotest.(check (float 1e-9)) "p1 is the maximum" 40. (p 1.);
+  (* nearest-rank: ceil(0.5 * 4) = 2nd smallest *)
+  Alcotest.(check (float 1e-9)) "median rank" 20. (p 0.5);
+  Alcotest.(check (float 1e-9)) "p0.51 rounds up" 30. (p 0.51);
+  Alcotest.(check (float 1e-9)) "unsorted input" 20.
+    (Gb_util.Stats.percentile 0.5 [ 40.; 10.; 30.; 20. ])
+
+let percentile_clamps () =
+  let xs = [ 1.; 2.; 3. ] in
+  let p q = Gb_util.Stats.percentile q xs in
+  Alcotest.(check (float 1e-9)) "below range clamps to min" 1. (p (-0.5));
+  Alcotest.(check (float 1e-9)) "above range clamps to max" 3. (p 1.5);
+  Alcotest.(check (float 1e-9)) "far below" 1. (p neg_infinity);
+  Alcotest.(check (float 1e-9)) "far above" 3. (p infinity);
+  Alcotest.(check (float 1e-9)) "nan treated as p0" 1. (p Float.nan);
+  Alcotest.(check (float 1e-9)) "empty list" 0.
+    (Gb_util.Stats.percentile 0.5 [])
+
 let table_render () =
   let s =
     Gb_util.Table.render ~header:[ "name"; "value" ]
@@ -99,6 +121,72 @@ let json_pretty_roundtrip () =
   in
   Alcotest.(check string) "same content" (J.to_string v) (strip pretty)
 
+let json_parsing () =
+  let module J = Gb_util.Json in
+  let ok s = match J.of_string s with Ok v -> v | Error e -> Alcotest.failf "parse %S: %s" s e in
+  Alcotest.(check bool) "int" true (ok "42" = J.Int 42);
+  Alcotest.(check bool) "negative int" true (ok "-7" = J.Int (-7));
+  Alcotest.(check bool) "float" true (ok "1.5" = J.Float 1.5);
+  Alcotest.(check bool) "exponent is a float" true (ok "1e2" = J.Float 100.);
+  Alcotest.(check bool) "null" true (ok "null" = J.Null);
+  Alcotest.(check bool) "bools" true (ok "[true,false]" = J.List [ J.Bool true; J.Bool false ]);
+  Alcotest.(check bool) "whitespace" true (ok " { \"a\" : 1 } " = J.Obj [ ("a", J.Int 1) ]);
+  Alcotest.(check bool) "nested" true
+    (ok {|{"a":[1,{"b":null}],"c":"x"}|}
+    = J.Obj
+        [
+          ("a", J.List [ J.Int 1; J.Obj [ ("b", J.Null) ] ]);
+          ("c", J.String "x");
+        ]);
+  Alcotest.(check bool) "string escapes" true
+    (ok {|"a\"b\\c\ndA"|} = J.String "a\"b\\c\ndA");
+  let err s = match J.of_string s with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "empty input" true (err "");
+  Alcotest.(check bool) "trailing garbage" true (err "1 x");
+  Alcotest.(check bool) "unterminated string" true (err {|"abc|});
+  Alcotest.(check bool) "unterminated array" true (err "[1,2");
+  Alcotest.(check bool) "bad literal" true (err "nul")
+
+let json_parse_roundtrip_prop =
+  (* any value we can encode must parse back to itself *)
+  let module J = Gb_util.Json in
+  let leaf =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.return J.Null;
+        QCheck.Gen.map (fun b -> J.Bool b) QCheck.Gen.bool;
+        QCheck.Gen.map (fun i -> J.Int i) QCheck.Gen.small_signed_int;
+        QCheck.Gen.map
+          (fun f -> J.Float (float_of_int f /. 8.))
+          QCheck.Gen.small_signed_int;
+        QCheck.Gen.map (fun s -> J.String s) QCheck.Gen.string_printable;
+      ]
+  in
+  let value =
+    QCheck.Gen.sized (fun n ->
+        QCheck.Gen.fix
+          (fun self n ->
+            if n = 0 then leaf
+            else
+              QCheck.Gen.oneof
+                [
+                  leaf;
+                  QCheck.Gen.map
+                    (fun xs -> J.List xs)
+                    (QCheck.Gen.list_size (QCheck.Gen.int_range 0 4)
+                       (self (n / 2)));
+                  QCheck.Gen.map
+                    (fun xs -> J.Obj xs)
+                    (QCheck.Gen.list_size (QCheck.Gen.int_range 0 4)
+                       (QCheck.Gen.pair QCheck.Gen.string_printable
+                          (self (n / 2))));
+                ])
+          (min n 8))
+  in
+  QCheck.Test.make ~count:300 ~name:"Json.of_string inverts to_string"
+    (QCheck.make value)
+    (fun v -> J.of_string (J.to_string v) = Ok v)
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -112,7 +200,13 @@ let () =
           qt rng_bounds_prop;
         ] );
       ( "stats",
-        [ Alcotest.test_case "basics" `Quick stats_basics; qt percentile_prop ] );
+        [
+          Alcotest.test_case "basics" `Quick stats_basics;
+          Alcotest.test_case "percentile nearest-rank" `Quick
+            percentile_nearest_rank;
+          Alcotest.test_case "percentile clamps" `Quick percentile_clamps;
+          qt percentile_prop;
+        ] );
       ( "table",
         [
           Alcotest.test_case "render" `Quick table_render;
@@ -122,5 +216,7 @@ let () =
         [
           Alcotest.test_case "encoding" `Quick json_encoding;
           Alcotest.test_case "pretty round-trip" `Quick json_pretty_roundtrip;
+          Alcotest.test_case "parsing" `Quick json_parsing;
+          qt json_parse_roundtrip_prop;
         ] );
     ]

@@ -299,7 +299,7 @@ let subword_memory_ops () =
     m.Gb_vliw.Machine.regs.(Gb_riscv.Reg.a2)
 
 let mcb_tag_reuse () =
-  let mcb = Gb_vliw.Mcb.create ~entries:4 in
+  let mcb = Gb_vliw.Mcb.create ~entries:4 () in
   Gb_vliw.Mcb.alloc mcb ~tag:1 ~addr:100 ~size:8;
   Gb_vliw.Mcb.store_probe mcb ~addr:104 ~size:1;
   Alcotest.(check bool) "conflict" true (Gb_vliw.Mcb.check mcb ~tag:1);
