@@ -17,8 +17,19 @@ let pct f = Printf.sprintf "%.1f%%" (100. *. f)
 
 let print_header title = Printf.printf "\n=== %s ===\n\n" title
 
-let e1 () =
+(* transient-line count and false negatives from the leakage audit, "-"
+   when the run was not audited *)
+let audit_cols = function
+  | None -> [ "-"; "-" ]
+  | Some (s : Gb_cache.Audit.summary) ->
+    [
+      string_of_int s.Gb_cache.Audit.transient_lines;
+      string_of_int s.Gb_cache.Audit.false_negatives;
+    ]
+
+let e1 ~seed () =
   print_header "E1: Spectre proof-of-concept matrix (secret leakage per mode)";
+  let poc = Gb_experiments.Experiments.e1_poc_matrix ~audit:true ~seed () in
   let rows =
     List.map
       (fun (r : Gb_experiments.Experiments.poc_row) ->
@@ -33,21 +44,25 @@ let e1 () =
           Int64.to_string o.Gb_attack.Runner.result.Gb_system.Processor.rollbacks;
           string_of_int
             o.Gb_attack.Runner.result.Gb_system.Processor.patterns_found;
-        ])
-      (Gb_experiments.Experiments.e1_poc_matrix ())
+        ]
+        @ audit_cols o.Gb_attack.Runner.result.Gb_system.Processor.audit)
+      poc
   in
   Gb_util.Table.print
     ~header:
       [ "variant"; "mode"; "bytes recovered"; "verdict"; "cycles"; "rollbacks";
-        "patterns" ]
+        "patterns"; "transient lines"; "audit FN" ]
     ~rows;
   print_string
     "\nExpected shape (paper SV-A): both variants leak the full secret on\n\
-     the unsafe configuration and nothing under any countermeasure.\n"
+     the unsafe configuration and nothing under any countermeasure. The\n\
+     audit columns confirm it microarchitecturally: unsafe runs leave\n\
+     transient cache lines, and no mode has detector false negatives.\n";
+  poc
 
 let e2 () =
   print_header "E2: Figure 4 - slowdown vs unsafe execution (lower is better)";
-  let data = Gb_experiments.Experiments.e2_figure4 () in
+  let data = Gb_experiments.Experiments.e2_figure4 ~audit:true () in
   let rows =
     List.map
       (fun (mc : Gb_experiments.Experiments.mode_cycles) ->
@@ -80,26 +95,34 @@ let e2 () =
 
 let e3 data =
   print_header "E3: fence-on-detect ablation (patterns are rare in real code)";
+  let fence_rows = Gb_experiments.Experiments.e3_fence_rows data in
   let rows =
-    List.map
-      (fun (name, fence_slowdown, patterns) ->
-        [ name; pct fence_slowdown; string_of_int patterns ])
-      (Gb_experiments.Experiments.e3_fence_rows data)
+    List.map2
+      (fun (name, fence_slowdown, patterns)
+           (mc : Gb_experiments.Experiments.mode_cycles) ->
+        [ name; pct fence_slowdown; string_of_int patterns ]
+        @ audit_cols mc.Gb_experiments.Experiments.unsafe_audit)
+      fence_rows data
   in
-  Gb_util.Table.print ~header:[ "application"; "fence mode"; "patterns" ] ~rows;
+  Gb_util.Table.print
+    ~header:
+      [ "application"; "fence mode"; "patterns"; "transient lines (unsafe)";
+        "audit FN" ]
+    ~rows;
   print_string
     "\nExpected shape (paper SV-B): the Spectre pattern is not commonly\n\
      seen in the benchmark binaries, so even fences cost ~nothing there;\n\
-     only the attack programs show detections.\n"
+     only the attack programs show detections (and, in the audit columns,\n\
+     attacker-dependent transient cache lines).\n"
 
 let e4 () =
   print_header "E4: pointer-array matrix multiply (double indirections)";
-  let mc = Gb_experiments.Experiments.e4_matmul_ablation () in
+  let mc = Gb_experiments.Experiments.e4_matmul_ablation ~audit:true () in
   let s mode = pct (Gb_experiments.Experiments.slowdown mc ~mode) in
   Gb_util.Table.print
     ~header:
       [ "workload"; "unsafe cycles"; "fine-grained"; "fence"; "no spec";
-        "patterns" ]
+        "patterns"; "transient lines (unsafe)"; "audit FN" ]
     ~rows:
       [
         [
@@ -109,12 +132,14 @@ let e4 () =
           s Gb_core.Mitigation.Fence_on_detect;
           s Gb_core.Mitigation.No_speculation;
           string_of_int mc.Gb_experiments.Experiments.patterns;
-        ];
+        ]
+        @ audit_cols mc.Gb_experiments.Experiments.unsafe_audit;
       ];
   print_string
     "\nExpected shape (paper SV-B): with frequent double indirection the\n\
      pattern fires often; the fine-grained countermeasure stays markedly\n\
-     cheaper than fence insertion (paper: +4% vs +15%).\n"
+     cheaper than fence insertion (paper: +4% vs +15%).\n";
+  mc
 
 let e5 () =
   print_header "E5: probe-latency separation (flush+reload discrimination)";
@@ -305,10 +330,10 @@ let micro () =
 
 (* --- Gb_obs metrics snapshot of an instrumented run -------------------- *)
 
-let metrics_snapshot () =
+let metrics_snapshot ~seed () =
   print_header "Metrics snapshot: one instrumented run (Gb_obs)";
   let w = List.hd Gb_workloads.Polybench.all in
-  let obs = Gb_obs.Sink.create () in
+  let obs = Gb_obs.Sink.create ~seed () in
   let _ =
     Gb_system.Processor.run_program
       ~config:(Gb_system.Processor.config_for Gb_core.Mitigation.Fine_grained)
@@ -319,18 +344,84 @@ let metrics_snapshot () =
     w.Gb_workloads.Polybench.name
     (Gb_util.Json.to_string_pretty (Gb_obs.Sink.metrics_json obs))
 
+(* --- JSON export ------------------------------------------------------- *)
+
+(* [--json-out PREFIX] writes PREFIX_perf.json (cycles and slowdowns per
+   experiment) and PREFIX_leakage.json (leakage-audit counters). *)
+let json_out_paths prefix = (prefix ^ "_perf.json", prefix ^ "_leakage.json")
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* Fail on an unwritable output path before spending minutes on the
+   experiments (same contract as the CLI's --metrics-out). *)
+let check_writable path =
+  match open_out path with
+  | oc -> close_out oc
+  | exception Sys_error e ->
+    Printf.eprintf "bench: cannot write %s: %s\n" path e;
+    exit 1
+
+let flag_value name =
+  let v = ref None in
+  Array.iteri
+    (fun i a -> if a = name && i + 1 < Array.length Sys.argv then
+        v := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !v
+
 let () =
   let no_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
+  let json_out = flag_value "--json-out" in
+  let seed =
+    match flag_value "--seed" with
+    | None -> 1L
+    | Some s -> (
+      match Int64.of_string_opt s with
+      | Some n -> n
+      | None ->
+        Printf.eprintf "bench: --seed expects an integer, got %S\n" s;
+        exit 1)
+  in
+  Option.iter
+    (fun prefix ->
+      let perf, leakage = json_out_paths prefix in
+      check_writable perf;
+      check_writable leakage)
+    json_out;
   Printf.printf
     "GhostBusters reproduction - benchmark harness\n\
      (paper: S. Rokicki, \"GhostBusters: Mitigating Spectre Attacks on a\n\
      DBT-Based Processor\", DATE 2020)\n";
-  e1 ();
+  let poc = e1 ~seed () in
   let data = e2 () in
   e3 data;
-  e4 ();
+  let e4_mc = e4 () in
   e5 ();
   e6 ();
   e7 ();
-  metrics_snapshot ();
-  if not no_micro then micro ()
+  metrics_snapshot ~seed ();
+  if not no_micro then micro ();
+  Option.iter
+    (fun prefix ->
+      let perf_path, leakage_path = json_out_paths prefix in
+      let perf =
+        Gb_util.Json.Obj
+          [
+            ("seed", Gb_util.Json.Int (Int64.to_int seed));
+            ("poc_matrix", Gb_experiments.Experiments.poc_json poc);
+            ("figure4", Gb_experiments.Experiments.figure4_json data);
+            ( "e4_matmul_ptr",
+              Gb_experiments.Experiments.mode_cycles_json e4_mc );
+          ]
+      in
+      let leakage =
+        Gb_experiments.Experiments.leakage_json ~rows:(data @ [ e4_mc ]) poc
+      in
+      write_file perf_path (Gb_util.Json.to_string_pretty perf);
+      write_file leakage_path (Gb_util.Json.to_string_pretty leakage);
+      Printf.printf "\nwrote %s and %s\n" perf_path leakage_path)
+    json_out

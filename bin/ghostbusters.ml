@@ -158,12 +158,37 @@ let profile_flag =
         ~doc:"Print host-side DBT phase timings and key counters after the \
               run.")
 
-(* An active sink when any observability output was requested, noop
+let audit_flag =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "Attach the leakage audit: a shadow cache fed only by \
+           architecturally-committed accesses is diffed against the real \
+           one at every trace exit; divergent lines are attributed to \
+           their guest load and cross-checked against the detector's \
+           verdicts. Prints the classification summary after the run.")
+
+let seed_arg =
+  Arg.(
+    value & opt int64 1L
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Seed for the observability sink's reservoir RNG, so audited \
+           and instrumented runs are reproducible bit-for-bit.")
+
+(* An active sink when any observability output was requested (the audit
+   publishes metrics and transient-line events, so it counts), noop
    otherwise so unobserved runs pay nothing. *)
-let sink_of_flags trace_out metrics_out profile =
-  if trace_out <> None || metrics_out <> None || profile then
-    Gb_obs.Sink.create ()
+let sink_of_flags ~seed trace_out metrics_out profile audit =
+  if trace_out <> None || metrics_out <> None || profile || audit then
+    Gb_obs.Sink.create ~seed ()
   else Gb_obs.Sink.noop
+
+let print_audit = function
+  | None -> ()
+  | Some s ->
+    Format.printf "@.Leakage audit:@.@[<v>%a@]@." Gb_cache.Audit.pp_summary s
 
 let write_file path contents =
   let oc = open_out path in
@@ -271,18 +296,18 @@ let run_json_flag =
 
 let run_cmd =
   let run name mode report json width mcb hot unroll cache_kib trace_out
-      metrics_out profile =
+      metrics_out profile audit seed =
     match
       Result.bind (find_workload name) (fun w ->
           Result.map (fun () -> w) (check_outputs trace_out metrics_out))
     with
     | Error e -> Error e
     | Ok w ->
-      let obs = sink_of_flags trace_out metrics_out profile in
+      let obs = sink_of_flags ~seed trace_out metrics_out profile audit in
       let proc =
         Gb_system.Processor.create
           ~config:(build_config mode width mcb hot unroll cache_kib)
-          ~obs
+          ~obs ~audit
           (Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program)
       in
       let r = Gb_system.Processor.run proc in
@@ -299,6 +324,7 @@ let run_cmd =
         Printf.printf "%s under %s\n" name (Gb_core.Mitigation.mode_name mode);
         print_result r
       end;
+      print_audit r.Gb_system.Processor.audit;
       emit_observability obs ~trace_out ~metrics_out ~profile;
       Ok ()
   in
@@ -308,7 +334,8 @@ let run_cmd =
       term_result
         (const run $ workload_arg $ mode_arg $ report_flag $ run_json_flag
         $ width_arg $ mcb_arg $ hot_arg $ unroll_arg $ cache_kib_arg
-        $ trace_out_arg $ metrics_out_arg $ profile_flag))
+        $ trace_out_arg $ metrics_out_arg $ profile_flag $ audit_flag
+        $ seed_arg))
 
 (* --- attack ------------------------------------------------------------- *)
 
@@ -320,7 +347,7 @@ let variant_arg =
 
 let attack_cmd =
   let run variant mode secret width mcb hot unroll cache_kib trace_out
-      metrics_out profile =
+      metrics_out profile audit seed =
     match check_outputs trace_out metrics_out with
     | Error e -> Error e
     | Ok () ->
@@ -330,10 +357,13 @@ let attack_cmd =
         | `V4 -> Gb_attack.Spectre_v4.program ~secret ()
       in
       let config = build_config mode width mcb hot unroll cache_kib in
-      let obs = sink_of_flags trace_out metrics_out profile in
-      let o = Gb_attack.Runner.run ~config ~obs ~mode ~secret program in
+      let obs = sink_of_flags ~seed trace_out metrics_out profile audit in
+      let o =
+        Gb_attack.Runner.run ~config ~obs ~audit ~seed ~mode ~secret program
+      in
       Printf.printf "%s\n" (Format.asprintf "%a" Gb_attack.Runner.pp_outcome o);
       print_result o.Gb_attack.Runner.result;
+      print_audit o.Gb_attack.Runner.result.Gb_system.Processor.audit;
       emit_observability obs ~trace_out ~metrics_out ~profile;
       Ok ()
   in
@@ -343,7 +373,7 @@ let attack_cmd =
       term_result
         (const run $ variant_arg $ mode_arg $ secret_arg $ width_arg $ mcb_arg
         $ hot_arg $ unroll_arg $ cache_kib_arg $ trace_out_arg
-        $ metrics_out_arg $ profile_flag))
+        $ metrics_out_arg $ profile_flag $ audit_flag $ seed_arg))
 
 (* --- trace -------------------------------------------------------------- *)
 

@@ -6,14 +6,22 @@ type outcome = {
   result : Gb_system.Processor.result;
 }
 
-let run ?config ?obs ~mode ~secret program =
+let run ?config ?obs ?(audit = false) ?(seed = 1L) ~mode ~secret program =
   let config =
     match config with
     | Some c -> c
     | None -> Gb_system.Processor.config_for mode
   in
+  (* An audited run without a caller-provided sink gets its own, so the
+     audit.* metrics land somewhere; [seed] pins the histogram reservoirs
+     for bit-for-bit reproducible snapshots. *)
+  let obs =
+    match obs with
+    | Some s -> s
+    | None -> if audit then Gb_obs.Sink.create ~seed () else Gb_obs.Sink.noop
+  in
   let asm = Gb_kernelc.Compile.assemble program in
-  let proc = Gb_system.Processor.create ~config ?obs asm in
+  let proc = Gb_system.Processor.create ~config ~obs ~audit asm in
   let result = Gb_system.Processor.run proc in
   let mem = Gb_system.Processor.mem proc in
   let len = String.length secret in

@@ -12,12 +12,17 @@ type outcome = {
 val run :
   ?config:Gb_system.Processor.config ->
   ?obs:Gb_obs.Sink.t ->
+  ?audit:bool ->
+  ?seed:int64 ->
   mode:Gb_core.Mitigation.mode ->
   secret:string ->
   Gb_kernelc.Ast.program ->
   outcome
 (** The program must use the {!Side_channel} layout (arrays [recovered] and
-    [results]). *)
+    [results]). [audit] (default [false]) attaches the leakage audit; its
+    classification is in [outcome.result.audit]. When [audit] is on and no
+    [obs] is given, the runner creates an active sink seeded with [seed]
+    (default [1L]) so audit counters are reproducible bit-for-bit. *)
 
 val succeeded : outcome -> bool
 (** True when every secret byte was recovered. *)

@@ -116,6 +116,19 @@ let contains t addr =
   let set, tag = set_and_tag t addr in
   match find_way t set tag with Some _ -> true | None -> false
 
+let set_index t addr = fst (set_and_tag t addr)
+
+let lines t =
+  let acc = ref [] in
+  for set = 0 to t.sets - 1 do
+    let tags = t.tags.(set) in
+    for way = 0 to t.cfg.ways - 1 do
+      let tag = tags.(way) in
+      if tag >= 0 then acc := ((tag * t.sets) + set) * t.cfg.line_bytes :: !acc
+    done
+  done;
+  List.sort compare !acc
+
 let flush_line t addr =
   let set, tag = set_and_tag t addr in
   t.stats.flushes <- t.stats.flushes + 1;

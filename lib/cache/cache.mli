@@ -48,6 +48,14 @@ val contains : t -> int -> bool
 (** Presence probe that does not disturb LRU state (for tests and
     reporting). *)
 
+val set_index : t -> int -> int
+(** Cache set holding the line that contains an address. *)
+
+val lines : t -> int list
+(** Line-aligned base addresses of every valid line, sorted. Used by the
+    leakage audit to diff the real cache against the architectural
+    shadow. *)
+
 val flush_line : t -> int -> unit
 (** Invalidate the line containing an address (no-op when absent). *)
 

@@ -17,10 +17,17 @@ type report = {
   loads_constrained : int;
   fences_inserted : int;
   rounds : int;
+  flagged_pcs : int list;
 }
 
 let empty_report =
-  { patterns_found = 0; loads_constrained = 0; fences_inserted = 0; rounds = 0 }
+  {
+    patterns_found = 0;
+    loads_constrained = 0;
+    fences_inserted = 0;
+    rounds = 0;
+    flagged_pcs = [];
+  }
 
 (* De-speculate one load: restore the dependencies the optimizer removed
    and drop its MCB tag (its chk becomes a dead check that never fires). *)
@@ -72,6 +79,7 @@ let apply ?(obs = Gb_obs.Sink.noop) mode ~lat g =
     let constrained = ref 0 in
     let fences = ref 0 in
     let rounds = ref 0 in
+    let flagged_pcs = ref [] in
     let rec fixpoint () =
       incr rounds;
       let { Poison.patterns; _ } = Poison.analyze g in
@@ -81,8 +89,9 @@ let apply ?(obs = Gb_obs.Sink.noop) mode ~lat g =
         patterns_found := !patterns_found + List.length patterns;
         List.iter
           (fun id ->
-            Gb_obs.Sink.event obs
-              ~pc:(Gb_ir.Dfg.node g id).Gb_ir.Dfg.guest_pc
+            let pc = (Gb_ir.Dfg.node g id).Gb_ir.Dfg.guest_pc in
+            flagged_pcs := pc :: !flagged_pcs;
+            Gb_obs.Sink.event obs ~pc
               (Gb_obs.Event.Poison_flagged { node = id });
             (match mode with
             | Fence_on_detect ->
@@ -110,4 +119,5 @@ let apply ?(obs = Gb_obs.Sink.noop) mode ~lat g =
       loads_constrained = !constrained;
       fences_inserted = !fences;
       rounds = !rounds;
+      flagged_pcs = List.rev !flagged_pcs;
     }

@@ -26,6 +26,9 @@ type report = {
   loads_constrained : int;
   fences_inserted : int;
   rounds : int;  (** analyze/constrain iterations until fixpoint *)
+  flagged_pcs : int list;
+      (** guest pcs of the flagged loads, in flagging order (consumed by
+          the leakage audit to score the detector) *)
 }
 
 val empty_report : report

@@ -96,7 +96,13 @@ let emit res ~n_hidden ~cycles ~entry_pc ~guest_insns ~meta g =
             node.Gb_ir.Dfg.commit_map
         in
         Hashtbl.add stub_index node.Gb_ir.Dfg.id !n_stubs;
-        stubs := { commits; target_pc = node.Gb_ir.Dfg.exit_pc } :: !stubs;
+        stubs :=
+          {
+            commits;
+            target_pc = node.Gb_ir.Dfg.exit_pc;
+            exit_id = node.Gb_ir.Dfg.id;
+          }
+          :: !stubs;
         incr n_stubs
       end);
   let stubs = Array.of_list (List.rev !stubs) in
@@ -114,9 +120,20 @@ let emit res ~n_hidden ~cycles ~entry_pc ~guest_insns ~meta g =
           base = src 0;
           off = node.Gb_ir.Dfg.off;
           spec = spec.Gb_ir.Dfg.tag;
+          id;
+          pc = node.Gb_ir.Dfg.guest_pc;
+          hoisted = spec.Gb_ir.Dfg.spec_prev_branch <> None;
         }
     | Gb_ir.Dfg.Kstore w ->
-      Store { w; src = src 0; base = src 1; off = node.Gb_ir.Dfg.off }
+      Store
+        {
+          w;
+          src = src 0;
+          base = src 1;
+          off = node.Gb_ir.Dfg.off;
+          id;
+          pc = node.Gb_ir.Dfg.guest_pc;
+        }
     | Gb_ir.Dfg.Kbranch cond ->
       Branch { cond; a = src 0; b = src 1; stub = Hashtbl.find stub_index id }
     | Gb_ir.Dfg.Kchk load_id -> (
@@ -130,7 +147,9 @@ let emit res ~n_hidden ~cycles ~entry_pc ~guest_insns ~meta g =
         Nop)
     | Gb_ir.Dfg.Kexit -> Exit { stub = Hashtbl.find stub_index id }
     | Gb_ir.Dfg.Krdcycle -> Rdcycle { dst = reg_of id }
-    | Gb_ir.Dfg.Kcflush -> Cflush { base = src 0; off = node.Gb_ir.Dfg.off }
+    | Gb_ir.Dfg.Kcflush ->
+      Cflush
+        { base = src 0; off = node.Gb_ir.Dfg.off; id; pc = node.Gb_ir.Dfg.guest_pc }
     | Gb_ir.Dfg.Kfence -> Fence
   in
   let n_cycles = 1 + Array.fold_left max 0 cycles in

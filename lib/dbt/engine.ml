@@ -59,9 +59,10 @@ type t = {
   branches : (int, int * int) Hashtbl.t;  (** pc -> (taken, total) *)
   stats : stats;
   obs : Gb_obs.Sink.t;
+  audit : Gb_cache.Audit.t option;
 }
 
-let create ?(obs = Gb_obs.Sink.noop) cfg ~mem =
+let create ?(obs = Gb_obs.Sink.noop) ?audit cfg ~mem =
   {
     cfg;
     mem;
@@ -93,6 +94,7 @@ let create ?(obs = Gb_obs.Sink.noop) cfg ~mem =
         branch_spec_loads = 0;
       };
     obs;
+    audit;
   }
 
 let config t = t.cfg
@@ -290,6 +292,37 @@ let translate t entry =
             Gb_obs.Sink.time obs "poison_analysis" (fun () ->
                 Gb_core.Mitigation.apply ~obs t.cfg.mode ~lat:t.cfg.lat g)
           in
+          (match t.audit with
+          | Some a ->
+            (* Feed the leakage audit the detector's verdicts for this
+               region: which loads ran speculatively, which the analysis
+               flagged, which the mitigation actually constrained. *)
+            Gb_ir.Dfg.iter_nodes g (fun n ->
+                match Gb_ir.Dfg.spec_of n with
+                | Some s
+                  when s.Gb_ir.Dfg.tag <> None
+                       || s.Gb_ir.Dfg.spec_prev_branch <> None
+                       || s.Gb_ir.Dfg.constrained ->
+                  Gb_cache.Audit.note_spec_load a ~pc:n.Gb_ir.Dfg.guest_pc
+                | Some _ | None -> ());
+            List.iter
+              (fun pc ->
+                Gb_cache.Audit.note_flagged a ~pc;
+                Gb_cache.Audit.note_constrained a ~pc)
+              report.Gb_core.Mitigation.flagged_pcs;
+            (* Under Unsafe nothing flags or constrains, so detector
+               precision would be unmeasurable: run the poisoning analysis
+               once report-only (it never mutates the graph) to obtain the
+               ground-truth flag set without changing the generated code. *)
+            if t.cfg.mode = Gb_core.Mitigation.Unsafe then
+              List.iter
+                (fun id ->
+                  let pc = (Gb_ir.Dfg.node g id).Gb_ir.Dfg.guest_pc in
+                  Gb_cache.Audit.note_flagged a ~pc;
+                  Gb_obs.Sink.event obs ~pc ~region:entry
+                    (Gb_obs.Event.Poison_flagged { node = id }))
+                (Gb_core.Poison.analyze g).Gb_core.Poison.patterns
+          | None -> ());
           let cycles =
             Gb_obs.Sink.time obs "schedule" (fun () ->
                 Sched.schedule ~obs t.cfg.resources ~lat:t.cfg.lat g)

@@ -57,11 +57,16 @@ type stats = {
 
 type t
 
-val create : ?obs:Gb_obs.Sink.t -> config -> mem:Gb_riscv.Mem.t -> t
+val create :
+  ?obs:Gb_obs.Sink.t -> ?audit:Gb_cache.Audit.t -> config -> mem:Gb_riscv.Mem.t -> t
 (** [obs] (default {!Gb_obs.Sink.noop}) receives the [translate.*]
     counters, per-phase host timers (first_pass, trace_build, ir_build,
     poison_analysis, schedule, codegen) and the translation lifecycle
-    events ({!Gb_obs.Event.Translate_start} .. {!Gb_obs.Event.Tier_transition}). *)
+    events ({!Gb_obs.Event.Translate_start} .. {!Gb_obs.Event.Tier_transition}).
+    [audit], when present, is told which loads each translation hoisted
+    speculatively and which the poisoning analysis flagged/constrained;
+    under [Unsafe] the analysis additionally runs report-only so the
+    audit can score detector precision against unconstrained execution. *)
 
 val config : t -> config
 

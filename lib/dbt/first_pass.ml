@@ -12,14 +12,23 @@ let translate ~mem ~entry =
   let stubs = ref [] in
   let n_stubs = ref 0 in
   let emit op = bundles := [| op |] :: !bundles in
-  let add_stub target_pc =
-    stubs := { commits = []; target_pc } :: !stubs;
+  (* Sequential ids in emission (= guest program) order so the leakage
+     audit's commit-boundary rule works on first-pass code too; with one
+     op per bundle nothing ever executes past a taken exit anyway. *)
+  let next_id = ref 0 in
+  let next () =
+    let i = !next_id in
+    incr next_id;
+    i
+  in
+  let add_stub ?(exit_id = max_int) target_pc =
+    stubs := { commits = []; target_pc; exit_id } :: !stubs;
     incr n_stubs;
     !n_stubs - 1
   in
   let branch_pc = ref None in
   let count = ref 0 in
-  let finish_at pc = emit (Exit { stub = add_stub pc }) in
+  let finish_at pc = emit (Exit { stub = add_stub ~exit_id:(next ()) pc }) in
   let rec walk pc =
     if !count >= max_block_insns then finish_at pc
     else
@@ -55,23 +64,30 @@ let translate ~mem ~entry =
                  b = I 0L });
           walk (pc + 4)
         | Gb_riscv.Insn.Load (w, unsigned, rd, rs1, off) ->
-          emit (Load { w; unsigned; dst = rd; base = R rs1; off; spec = None });
+          emit
+            (Load
+               { w; unsigned; dst = rd; base = R rs1; off; spec = None;
+                 id = next (); pc; hoisted = false });
           walk (pc + 4)
         | Gb_riscv.Insn.Store (w, rs2, rs1, off) ->
-          emit (Store { w; src = R rs2; base = R rs1; off });
+          emit (Store { w; src = R rs2; base = R rs1; off; id = next (); pc });
           walk (pc + 4)
         | Gb_riscv.Insn.Rdcycle rd ->
           emit (Rdcycle { dst = rd });
           walk (pc + 4)
         | Gb_riscv.Insn.Cflush rs1 ->
-          emit (Cflush { base = R rs1; off = 0 });
+          emit (Cflush { base = R rs1; off = 0; id = next (); pc });
           walk (pc + 4)
         | Gb_riscv.Insn.Fence ->
           emit Fence;
           walk (pc + 4)
         | Gb_riscv.Insn.Branch (cond, rs1, rs2, off) ->
           branch_pc := Some pc;
-          emit (Branch { cond; a = R rs1; b = R rs2; stub = add_stub (pc + off) });
+          let bid = next () in
+          emit
+            (Branch
+               { cond; a = R rs1; b = R rs2;
+                 stub = add_stub ~exit_id:bid (pc + off) });
           finish_at (pc + 4)
         | Gb_riscv.Insn.Jal (rd, off) ->
           if rd <> 0 then

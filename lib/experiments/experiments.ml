@@ -7,6 +7,8 @@ type mode_cycles = {
   fence : int64;
   no_spec : int64;
   patterns : int;
+  unsafe_audit : Gb_cache.Audit.summary option;
+  fine_audit : Gb_cache.Audit.summary option;
 }
 
 let cycles_of mc = function
@@ -17,13 +19,13 @@ let cycles_of mc = function
 
 let slowdown mc ~mode = Int64.to_float (cycles_of mc mode) /. Int64.to_float mc.unsafe
 
-let run_workload mode program =
-  Gb_system.Processor.run_program
+let run_workload ?(audit = false) mode program =
+  Gb_system.Processor.run_program ~audit
     ~config:(Gb_system.Processor.config_for mode)
     (Gb_kernelc.Compile.assemble program)
 
-let measure_program ~name program =
-  let run mode = run_workload mode program in
+let measure_program ?(audit = false) ~name program =
+  let run mode = run_workload ~audit mode program in
   let unsafe_r = run Gb_core.Mitigation.Unsafe in
   let fine_r = run Gb_core.Mitigation.Fine_grained in
   let fence_r = run Gb_core.Mitigation.Fence_on_detect in
@@ -45,6 +47,8 @@ let measure_program ~name program =
     fence = fence_r.Gb_system.Processor.cycles;
     no_spec = nospec_r.Gb_system.Processor.cycles;
     patterns = fine_r.Gb_system.Processor.patterns_found;
+    unsafe_audit = unsafe_r.Gb_system.Processor.audit;
+    fine_audit = fine_r.Gb_system.Processor.audit;
   }
 
 type poc_row = {
@@ -59,26 +63,30 @@ let attack_programs ~secret =
     ("spectre-v4", Gb_attack.Spectre_v4.program ~secret ());
   ]
 
-let e1_poc_matrix ?(secret = default_secret) () =
+let e1_poc_matrix ?(secret = default_secret) ?(audit = false) ?(seed = 1L) () =
   List.concat_map
     (fun (variant, program) ->
       List.map
         (fun mode ->
-          { variant; mode; outcome = Gb_attack.Runner.run ~mode ~secret program })
+          {
+            variant;
+            mode;
+            outcome = Gb_attack.Runner.run ~audit ~seed ~mode ~secret program;
+          })
         Gb_core.Mitigation.all_modes)
     (attack_programs ~secret)
 
-let e2_figure4 () =
+let e2_figure4 ?(audit = false) () =
   let kernels =
     List.map
       (fun (w : Gb_workloads.Polybench.t) ->
-        measure_program ~name:w.Gb_workloads.Polybench.name
+        measure_program ~audit ~name:w.Gb_workloads.Polybench.name
           w.Gb_workloads.Polybench.program)
       Gb_workloads.Polybench.all
   in
   let attacks =
     List.map
-      (fun (name, program) -> measure_program ~name program)
+      (fun (name, program) -> measure_program ~audit ~name program)
       (attack_programs ~secret:default_secret)
   in
   kernels @ attacks
@@ -89,9 +97,9 @@ let e3_fence_rows rows =
       (mc.w_name, slowdown mc ~mode:Gb_core.Mitigation.Fence_on_detect, mc.patterns))
     rows
 
-let e4_matmul_ablation () =
+let e4_matmul_ablation ?(audit = false) () =
   let w = Gb_workloads.Polybench.matmul_ptr in
-  measure_program ~name:w.Gb_workloads.Polybench.name
+  measure_program ~audit ~name:w.Gb_workloads.Polybench.name
     w.Gb_workloads.Polybench.program
 
 let e5_hot_candidates = [ 7; 66; 71; 200 ]
@@ -128,6 +136,37 @@ let figure4_json rows =
             ("fine_grained", Gb_util.Json.Float (geomean_slowdown rows ~mode:Gb_core.Mitigation.Fine_grained));
             ("no_speculation", Gb_util.Json.Float (geomean_slowdown rows ~mode:Gb_core.Mitigation.No_speculation));
           ] );
+    ]
+
+let opt_audit_json = function
+  | None -> Gb_util.Json.Null
+  | Some s -> Gb_cache.Audit.summary_to_json s
+
+let leakage_json ~rows poc =
+  let workload_row mc =
+    Gb_util.Json.Obj
+      [
+        ("name", Gb_util.Json.String mc.w_name);
+        ("unsafe", opt_audit_json mc.unsafe_audit);
+        ("fine_grained", opt_audit_json mc.fine_audit);
+      ]
+  in
+  let poc_row_json r =
+    Gb_util.Json.Obj
+      [
+        ("variant", Gb_util.Json.String r.variant);
+        ("mode", Gb_util.Json.String (Gb_core.Mitigation.mode_name r.mode));
+        ("leaked", Gb_util.Json.Bool (Gb_attack.Runner.succeeded r.outcome));
+        ( "audit",
+          opt_audit_json r.outcome.Gb_attack.Runner.result.Gb_system.Processor.audit
+        );
+      ]
+  in
+  Gb_util.Json.Obj
+    [
+      ("experiment", Gb_util.Json.String "leakage_audit");
+      ("workloads", Gb_util.Json.List (List.map workload_row rows));
+      ("attacks", Gb_util.Json.List (List.map poc_row_json poc));
     ]
 
 let poc_json rows =

@@ -12,15 +12,26 @@ type mode_cycles = {
   fence : int64;
   no_spec : int64;
   patterns : int;  (** Spectre patterns detected under fine-grained *)
+  unsafe_audit : Gb_cache.Audit.summary option;
+      (** leakage-audit classification of the unsafe run (audited runs only) *)
+  fine_audit : Gb_cache.Audit.summary option;
+      (** same, for the fine-grained run *)
 }
 
 val slowdown : mode_cycles -> mode:Gb_core.Mitigation.mode -> float
 (** cycles(mode) / cycles(unsafe). *)
 
 val run_workload :
-  Gb_core.Mitigation.mode -> Gb_kernelc.Ast.program -> Gb_system.Processor.result
+  ?audit:bool ->
+  Gb_core.Mitigation.mode ->
+  Gb_kernelc.Ast.program ->
+  Gb_system.Processor.result
 
-val measure_program : name:string -> Gb_kernelc.Ast.program -> mode_cycles
+val measure_program :
+  ?audit:bool -> name:string -> Gb_kernelc.Ast.program -> mode_cycles
+(** [audit] (default [false]) attaches the leakage audit to every mode's
+    run and captures the Unsafe and Fine_grained summaries. The audit is a
+    pure observer, so the cycle counts are identical either way. *)
 
 (** E1 — proof of concept: per variant and mode, how much of the secret
     leaked. *)
@@ -30,16 +41,20 @@ type poc_row = {
   outcome : Gb_attack.Runner.outcome;
 }
 
-val e1_poc_matrix : ?secret:string -> unit -> poc_row list
+val e1_poc_matrix :
+  ?secret:string -> ?audit:bool -> ?seed:int64 -> unit -> poc_row list
+(** [audit] attaches the leakage audit to every run; [seed] (default [1L])
+    pins the observability sink's reservoir RNG so audited runs are
+    reproducible bit-for-bit. *)
 
-val e2_figure4 : unit -> mode_cycles list
+val e2_figure4 : ?audit:bool -> unit -> mode_cycles list
 (** One row per Figure-4 application: the 12 Polybench kernels plus the
     two Spectre proof-of-concept programs. *)
 
 val e3_fence_rows : mode_cycles list -> (string * float * int) list
 (** Per workload: fence slowdown and pattern count (derived from E2 data). *)
 
-val e4_matmul_ablation : unit -> mode_cycles
+val e4_matmul_ablation : ?audit:bool -> unit -> mode_cycles
 
 val e5_hot_candidates : int list
 
@@ -59,8 +74,17 @@ val e7_translation_channel :
 val geomean_slowdown :
   mode_cycles list -> mode:Gb_core.Mitigation.mode -> float
 
+val mode_cycles_json : mode_cycles -> Gb_util.Json.t
+(** One workload's cycles and slowdowns as a JSON object. *)
+
 val figure4_json : mode_cycles list -> Gb_util.Json.t
 (** Machine-readable E2 results (for external plotting). *)
 
 val poc_json : poc_row list -> Gb_util.Json.t
 (** Machine-readable E1 results. *)
+
+val leakage_json :
+  rows:mode_cycles list -> poc_row list -> Gb_util.Json.t
+(** Machine-readable leakage-audit counters: per-workload Unsafe and
+    Fine_grained summaries from [rows] plus per-attack classification from
+    an audited E1 matrix. Rows without audit data encode as [null]. *)

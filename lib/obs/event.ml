@@ -9,6 +9,7 @@ type kind =
   | Rollback
   | Cache_miss of { addr : int; write : bool }
   | Tier_transition of { tier : string }
+  | Transient_line of { addr : int; set_idx : int; dependent : bool }
 
 type t = { kind : kind; pc : int; region : int; cycle : int64 }
 
@@ -23,6 +24,7 @@ let name = function
   | Rollback -> "rollback"
   | Cache_miss _ -> "cache_miss"
   | Tier_transition _ -> "tier_transition"
+  | Transient_line _ -> "transient_line"
 
 let args kind =
   let module J = Gb_util.Json in
@@ -40,6 +42,11 @@ let args kind =
   | Cache_miss { addr; write } ->
     [ ("addr", J.Int addr); ("write", J.Bool write) ]
   | Tier_transition { tier } -> [ ("tier", J.String tier) ]
+  | Transient_line { addr; set_idx; dependent } ->
+    [
+      ("addr", J.Int addr); ("set", J.Int set_idx);
+      ("dependent", J.Bool dependent);
+    ]
 
 let to_json t =
   let module J = Gb_util.Json in

@@ -22,6 +22,13 @@ type kind =
       (** a region moved tiers: "block" (first-pass translation installed),
           "trace" (optimized trace installed), "despeculated",
           "retranslate" (stale trace dropped) *)
+  | Transient_line of { addr : int; set_idx : int; dependent : bool }
+      (** the leakage audit found a cache line (base address [addr], cache
+          set [set_idx]) allocated by a transiently executed load that the
+          architectural (shadow) execution never touched; [dependent] is
+          true when the load's address was derived from speculatively
+          loaded data — the Spectre leak condition. pc = the load's guest
+          pc. Rendered on its own Chrome-trace track. *)
 
 type t = {
   kind : kind;

@@ -2,26 +2,34 @@ let guest_pid = 1
 
 let host_pid = 2
 
-let meta_events =
+let leakage_pid = 3
+
+let process_meta pid name =
   let module J = Gb_util.Json in
-  let process pid name =
-    J.Obj
-      [
-        ("name", J.String "process_name");
-        ("ph", J.String "M");
-        ("pid", J.Int pid);
-        ("tid", J.Int 0);
-        ("args", J.Obj [ ("name", J.String name) ]);
-      ]
-  in
+  J.Obj
+    [
+      ("name", J.String "process_name");
+      ("ph", J.String "M");
+      ("pid", J.Int pid);
+      ("tid", J.Int 0);
+      ("args", J.Obj [ ("name", J.String name) ]);
+    ]
+
+let meta_events =
   [
-    process guest_pid "guest (ts = simulated cycles)";
-    process host_pid "dbt-host (ts = wall-clock us)";
+    process_meta guest_pid "guest (ts = simulated cycles)";
+    process_meta host_pid "dbt-host (ts = wall-clock us)";
   ]
+
+(* Transient cache lines found by the leakage audit live on their own
+   process so the security signal is one self-contained track group, not
+   interleaved with the ordinary guest events. *)
+let is_transient (e : Event.t) =
+  match e.Event.kind with Event.Transient_line _ -> true | _ -> false
 
 (* One track per region keeps a region's translate/rollback/miss history
    on its own horizontal line. tid 0 is reserved for unattributed events. *)
-let thread_name_events events =
+let thread_name_events ~pid events =
   let module J = Gb_util.Json in
   let seen = Hashtbl.create 16 in
   List.iter
@@ -35,7 +43,7 @@ let thread_name_events events =
         [
           ("name", J.String "thread_name");
           ("ph", J.String "M");
-          ("pid", J.Int guest_pid);
+          ("pid", J.Int pid);
           ("tid", J.Int region);
           ("args", J.Obj [ ("name", J.String (Printf.sprintf "region 0x%x" region)) ]);
         ]
@@ -43,16 +51,16 @@ let thread_name_events events =
     seen []
   |> List.sort compare
 
-let guest_event (e : Event.t) =
+let guest_event ?(pid = guest_pid) (e : Event.t) =
   let module J = Gb_util.Json in
   J.Obj
     [
       ("name", J.String (Event.name e.Event.kind));
-      ("cat", J.String "guest");
+      ("cat", J.String (if pid = leakage_pid then "leakage" else "guest"));
       ("ph", J.String "i");
       ("s", J.String "t");  (* thread-scoped instant *)
       ("ts", J.Int (Int64.to_int e.Event.cycle));
-      ("pid", J.Int guest_pid);
+      ("pid", J.Int pid);
       ("tid", J.Int e.Event.region);
       ( "args",
         J.Obj
@@ -75,13 +83,22 @@ let host_span (s : Timer.span) =
 
 let to_json ~events ~spans =
   let module J = Gb_util.Json in
+  let transient, ordinary = List.partition is_transient events in
+  let leakage_meta =
+    if transient = [] then []
+    else
+      process_meta leakage_pid "leakage (transient cache lines)"
+      :: thread_name_events ~pid:leakage_pid transient
+  in
   J.Obj
     [
       ( "traceEvents",
         J.List
           (meta_events
-          @ thread_name_events events
-          @ List.map guest_event events
+          @ leakage_meta
+          @ thread_name_events ~pid:guest_pid ordinary
+          @ List.map (guest_event ~pid:guest_pid) ordinary
+          @ List.map (guest_event ~pid:leakage_pid) transient
           @ List.map host_span spans) );
       ("displayTimeUnit", J.String "ms");
     ]

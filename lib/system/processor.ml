@@ -37,6 +37,7 @@ type result = {
   fences_inserted : int;
   spec_loads : int;
   output : string;
+  audit : Gb_cache.Audit.summary option;
 }
 
 type t = {
@@ -48,9 +49,11 @@ type t = {
   machine : Gb_vliw.Machine.t;
   engine : Gb_dbt.Engine.t;
   obs : Gb_obs.Sink.t;
+  audit : Gb_cache.Audit.t option;
 }
 
-let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop) program =
+let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop)
+    ?(audit = false) program =
   let mem = Gb_riscv.Mem.create ~size:config.mem_size in
   Gb_riscv.Asm.load mem program;
   let clock = ref 0L in
@@ -70,20 +73,39 @@ let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop) program =
         "vliw.rollbacks"; "vliw.mcb_conflicts"; "cache.reads"; "cache.writes";
         "cache.read_misses"; "cache.write_misses"; "cache.flushes";
       ];
+  if audit && Gb_obs.Sink.is_active obs then
+    List.iter
+      (fun name -> Gb_obs.Sink.incr obs ~by:0 name)
+      [ "audit.transient_lines"; "audit.dependent_transient_lines" ];
   let hier = Gb_cache.Hierarchy.create ~obs config.hier in
+  let audit =
+    if audit then
+      Some (Gb_cache.Audit.create ~obs ~real:(Gb_cache.Hierarchy.cache hier) ())
+    else None
+  in
   let regs =
     Array.make
       (Gb_vliw.Vinsn.guest_regs + config.machine.Gb_vliw.Machine.n_hidden)
       0L
   in
   regs.(Gb_riscv.Reg.sp) <- Int64.of_int (config.mem_size - 16);
+  (* Interpreter accesses are architectural by definition: they mirror
+     straight into the audit's shadow cache. *)
   let hooks =
     {
       Gb_riscv.Interp.mem_extra =
         (fun ~addr ~size ~write ->
           let hit = Gb_cache.Hierarchy.access hier ~addr ~size ~write in
+          (match audit with
+          | Some a -> Gb_cache.Audit.commit_access a ~addr ~size ~write
+          | None -> ());
           Gb_cache.Hierarchy.interp_cost hier ~hit);
-      flush_line = (fun addr -> Gb_cache.Hierarchy.flush_line hier addr);
+      flush_line =
+        (fun addr ->
+          Gb_cache.Hierarchy.flush_line hier addr;
+          match audit with
+          | Some a -> Gb_cache.Audit.commit_flush a ~addr
+          | None -> ());
     }
   in
   let interp =
@@ -91,10 +113,11 @@ let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop) program =
       ~pc:program.Gb_riscv.Asm.entry ()
   in
   let machine =
-    Gb_vliw.Machine.create ~cfg:config.machine ~mem ~hier ~clock ~regs ~obs ()
+    Gb_vliw.Machine.create ~cfg:config.machine ~mem ~hier ~clock ~regs ~obs
+      ?audit ()
   in
-  let engine = Gb_dbt.Engine.create ~obs config.engine ~mem in
-  { cfg = config; mem; clock; hier; interp; machine; engine; obs }
+  let engine = Gb_dbt.Engine.create ~obs ?audit config.engine ~mem in
+  { cfg = config; mem; clock; hier; interp; machine; engine; obs; audit }
 
 let mem t = t.mem
 
@@ -103,6 +126,8 @@ let hierarchy t = t.hier
 let engine t = t.engine
 
 let obs t = t.obs
+
+let audit t = t.audit
 
 let result_of t exit_code =
   let ms = t.machine.Gb_vliw.Machine.stats in
@@ -123,6 +148,7 @@ let result_of t exit_code =
     fences_inserted = es.Gb_dbt.Engine.fences_inserted;
     spec_loads = es.Gb_dbt.Engine.spec_loads;
     output = Buffer.contents t.interp.Gb_riscv.Interp.output;
+    audit = Option.map Gb_cache.Audit.publish t.audit;
   }
 
 let run t =
@@ -153,6 +179,6 @@ let run t =
   in
   loop ()
 
-let run_program ?config ?obs program =
-  let t = create ?config ?obs program in
+let run_program ?config ?obs ?audit program =
+  let t = create ?config ?obs ?audit program in
   run t

@@ -33,15 +33,26 @@ type result = {
   fences_inserted : int;
   spec_loads : int;
   output : string;
+  audit : Gb_cache.Audit.summary option;
+      (** leakage-audit classification; [None] unless created with
+          [~audit:true] *)
 }
 
 type t
 
 val create :
-  ?config:config -> ?obs:Gb_obs.Sink.t -> Gb_riscv.Asm.program -> t
+  ?config:config ->
+  ?obs:Gb_obs.Sink.t ->
+  ?audit:bool ->
+  Gb_riscv.Asm.program ->
+  t
 (** [obs] (default {!Gb_obs.Sink.noop}) is threaded into the cache
     hierarchy, the VLIW machine and the DBT engine, and wired to the
-    shared simulated clock so events carry cycle timestamps. *)
+    shared simulated clock so events carry cycle timestamps.
+    [audit] (default [false]) attaches a {!Gb_cache.Audit} leakage audit:
+    a shadow cache fed only by architecturally-committed accesses runs in
+    lockstep with the real one, every trace exit diffs the two, and the
+    result's [audit] field carries the classification summary. *)
 
 val mem : t -> Gb_riscv.Mem.t
 
@@ -52,10 +63,17 @@ val engine : t -> Gb_dbt.Engine.t
 val obs : t -> Gb_obs.Sink.t
 (** The sink passed at creation ({!Gb_obs.Sink.noop} by default). *)
 
+val audit : t -> Gb_cache.Audit.t option
+(** The leakage audit, when created with [~audit:true]. *)
+
 val run : t -> result
 (** Run to the exit ecall. Raises {!Gb_riscv.Interp.Trap} on guest errors
     or when [max_cycles] is exceeded. *)
 
 val run_program :
-  ?config:config -> ?obs:Gb_obs.Sink.t -> Gb_riscv.Asm.program -> result
+  ?config:config ->
+  ?obs:Gb_obs.Sink.t ->
+  ?audit:bool ->
+  Gb_riscv.Asm.program ->
+  result
 (** [create] + [run]. *)

@@ -19,10 +19,11 @@ type t = {
   mcb : Mcb.t;
   stats : stats;
   obs : Gb_obs.Sink.t;
+  audit : Gb_cache.Audit.t option;
 }
 
 let create ?(cfg = default_config) ~mem ~hier ~clock ?regs
-    ?(obs = Gb_obs.Sink.noop) () =
+    ?(obs = Gb_obs.Sink.noop) ?audit () =
   let regs =
     match regs with
     | Some r ->
@@ -41,4 +42,5 @@ let create ?(cfg = default_config) ~mem ~hier ~clock ?regs
       { bundles = 0L; trace_runs = 0L; side_exits = 0L; rollbacks = 0L;
         stall_cycles = 0L };
     obs;
+    audit;
   }

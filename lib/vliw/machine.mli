@@ -27,6 +27,8 @@ type t = {
   mcb : Mcb.t;
   stats : stats;
   obs : Gb_obs.Sink.t;
+  audit : Gb_cache.Audit.t option;
+      (** leakage audit fed by {!Pipeline.run}; [None] disables buffering *)
 }
 
 val create :
@@ -36,6 +38,7 @@ val create :
   clock:int64 ref ->
   ?regs:int64 array ->
   ?obs:Gb_obs.Sink.t ->
+  ?audit:Gb_cache.Audit.t ->
   unit ->
   t
 (** [regs], when provided, must be at least [32 + cfg.n_hidden] long (it is

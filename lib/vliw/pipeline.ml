@@ -25,14 +25,32 @@ let run (m : Machine.t) (trace : Vinsn.trace) =
   Mcb.clear m.mcb;
   m.stats.trace_runs <- Int64.add m.stats.trace_runs 1L;
   Gb_obs.Sink.incr m.obs "vliw.trace_runs";
+  (match m.audit with
+  | Some a -> Gb_cache.Audit.begin_run a ~region:trace.entry_pc
+  | None -> ());
+  (* Per-run taint over the register file: set by speculative loads,
+     propagated through Alu/Mv, read to decide whether a load's address
+     was derived from speculatively loaded data (the leak condition the
+     audit scores). Dead weight unless an audit is attached. *)
+  let taint =
+    match m.audit with
+    | Some _ -> Array.make (Array.length m.regs) false
+    | None -> [||]
+  in
+  let tainted = function
+    | Vinsn.R r -> r <> 0 && Array.length taint > 0 && taint.(r)
+    | Vinsn.I _ -> false
+  in
   let writes = Array.make (width * 2) (-1, 0L) in
+  let wtaint = Array.make (width * 2) false in
   let n_writes = ref 0 in
-  let push_write dst v =
+  let push_write ?(taint = false) dst v =
     if dst <> 0 then begin
       for i = 0 to !n_writes - 1 do
         if fst writes.(i) = dst then error "duplicate write to register %d" dst
       done;
       writes.(!n_writes) <- (dst, v);
+      wtaint.(!n_writes) <- taint;
       incr n_writes
     end
   in
@@ -61,10 +79,11 @@ let run (m : Machine.t) (trace : Vinsn.trace) =
     match op with
     | Nop | Fence -> ()
     | Alu { op; dst; a; b } ->
-      push_write dst (Gb_riscv.Interp.alu_rr op (eval m.regs a) (eval m.regs b))
-    | Mv { dst; src } -> push_write dst (eval m.regs src)
+      push_write ~taint:(tainted a || tainted b) dst
+        (Gb_riscv.Interp.alu_rr op (eval m.regs a) (eval m.regs b))
+    | Mv { dst; src } -> push_write ~taint:(tainted src) dst (eval m.regs src)
     | Rdcycle { dst } -> push_write dst clock_now
-    | Load { w; unsigned; dst; base; off; spec } ->
+    | Load { w; unsigned; dst; base; off; spec; id; pc; hoisted } ->
       let addr = Int64.to_int (Int64.add (eval m.regs base) (Int64.of_int off)) in
       let size = Gb_riscv.Interp.width_bytes w in
       let raw = load_value ~addr ~size in
@@ -73,25 +92,44 @@ let run (m : Machine.t) (trace : Vinsn.trace) =
       (match spec with
       | Some tag -> Mcb.alloc m.mcb ~tag ~addr ~size
       | None -> ());
-      push_write dst v
-    | Store { w; src; base; off } ->
+      let speculative = hoisted || spec <> None in
+      (match m.audit with
+      | Some a when addr >= 0 ->
+        Gb_cache.Audit.run_access a ~id ~pc ~addr ~size ~write:false
+          ~speculative ~dependent:(tainted base)
+      | Some _ | None -> ());
+      push_write ~taint:(speculative || tainted base) dst v
+    | Store { w; src; base; off; id; pc } ->
       let addr = Int64.to_int (Int64.add (eval m.regs base) (Int64.of_int off)) in
       let size = Gb_riscv.Interp.width_bytes w in
       Gb_riscv.Mem.store m.mem ~addr ~size (eval m.regs src);
       touch_cache ~addr ~size ~write:true;
-      Mcb.store_probe m.mcb ~addr ~size
+      Mcb.store_probe m.mcb ~addr ~size;
+      (match m.audit with
+      | Some a when addr >= 0 ->
+        Gb_cache.Audit.run_access a ~id ~pc ~addr ~size ~write:true
+          ~speculative:false ~dependent:false
+      | Some _ | None -> ())
     | Branch { cond; a; b; stub } ->
       if Gb_riscv.Interp.eval_cond cond (eval m.regs a) (eval m.regs b) then
         take stub Side_exit
     | Chk { tag; stub } ->
       if Mcb.check m.mcb ~tag then take stub Rollback
-    | Cflush { base; off } ->
+    | Cflush { base; off; id; pc } ->
       let addr = Int64.to_int (Int64.add (eval m.regs base) (Int64.of_int off)) in
-      if addr >= 0 then Gb_cache.Hierarchy.flush_line m.hier addr
+      if addr >= 0 then begin
+        Gb_cache.Hierarchy.flush_line m.hier addr;
+        match m.audit with
+        | Some a -> Gb_cache.Audit.run_flush a ~id ~pc ~addr
+        | None -> ()
+      end
     | Exit { stub } -> take stub Fallthrough
   in
   let finish ~bundle_idx stub_idx kind =
     let stub = trace.stubs.(stub_idx) in
+    (match m.audit with
+    | Some a -> Gb_cache.Audit.end_run a ~exit_id:stub.exit_id
+    | None -> ());
     List.iter
       (fun (dst, src) ->
         if dst = 0 || dst >= guest_regs then
@@ -137,7 +175,8 @@ let run (m : Machine.t) (trace : Vinsn.trace) =
       Array.iter (exec_op clock_now) bundle;
       for k = 0 to !n_writes - 1 do
         let dst, v = writes.(k) in
-        m.regs.(dst) <- v
+        m.regs.(dst) <- v;
+        if Array.length taint > 0 then taint.(dst) <- wtaint.(k)
       done;
       m.stats.bundles <- Int64.add m.stats.bundles 1L;
       m.stats.stall_cycles <- Int64.add m.stats.stall_cycles (Int64.of_int !stall);

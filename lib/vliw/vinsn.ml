@@ -14,12 +14,17 @@ type op =
       base : operand;
       off : int;
       spec : int option;
+      id : int;
+      pc : int;
+      hoisted : bool;
     }
   | Store of {
       w : Gb_riscv.Insn.width;
       src : operand;
       base : operand;
       off : int;
+      id : int;
+      pc : int;
     }
   | Branch of {
       cond : Gb_riscv.Insn.branch_cond;
@@ -30,13 +35,13 @@ type op =
   | Chk of { tag : int; stub : int }
   | Mv of { dst : reg; src : operand }
   | Rdcycle of { dst : reg }
-  | Cflush of { base : operand; off : int }
+  | Cflush of { base : operand; off : int; id : int; pc : int }
   | Fence
   | Exit of { stub : int }
 
 type bundle = op array
 
-type stub = { commits : (reg * operand) list; target_pc : int }
+type stub = { commits : (reg * operand) list; target_pc : int; exit_id : int }
 
 type meta = {
   spec_loads : int;
@@ -85,12 +90,13 @@ let pp_op ppf = function
       (Gb_riscv.Insn.to_string (Gb_riscv.Insn.Op (op, 0, 0, 0))
       |> String.split_on_char ' ' |> List.hd)
       pp_reg dst pp_operand a pp_operand b
-  | Load { w; unsigned; dst; base; off; spec } ->
-    Format.fprintf ppf "l%c%s%s %a, %d(%a)" (width_letter w)
+  | Load { w; unsigned; dst; base; off; spec; hoisted; _ } ->
+    Format.fprintf ppf "l%c%s%s%s %a, %d(%a)" (width_letter w)
       (if unsigned then "u" else "")
       (match spec with Some tag -> Printf.sprintf ".spec[%d]" tag | None -> "")
+      (if hoisted then ".hoist" else "")
       pp_reg dst off pp_operand base
-  | Store { w; src; base; off } ->
+  | Store { w; src; base; off; _ } ->
     Format.fprintf ppf "s%c %a, %d(%a)" (width_letter w) pp_operand src off
       pp_operand base
   | Branch { cond; a; b; stub } ->
@@ -101,7 +107,7 @@ let pp_op ppf = function
   | Chk { tag; stub } -> Format.fprintf ppf "chk [%d] -> stub%d" tag stub
   | Mv { dst; src } -> Format.fprintf ppf "mv %a, %a" pp_reg dst pp_operand src
   | Rdcycle { dst } -> Format.fprintf ppf "rdcycle %a" pp_reg dst
-  | Cflush { base; off } ->
+  | Cflush { base; off; _ } ->
     Format.fprintf ppf "cflush %d(%a)" off pp_operand base
   | Fence -> Format.fprintf ppf "fence"
   | Exit { stub } -> Format.fprintf ppf "exit -> stub%d" stub

@@ -27,12 +27,21 @@ type op =
       spec : int option;
           (** [Some tag]: speculative load that allocates MCB entry [tag]
               (the paper's distinct opcode for MCB-checked loads) *)
+      id : int;
+          (** DFG node id — original guest program order, compared against
+              the taken exit stub's [exit_id] by the leakage audit to
+              decide whether this access was architecturally committed *)
+      pc : int;  (** originating guest pc (audit attribution) *)
+      hoisted : bool;
+          (** moved above a branch it followed in program order *)
     }
   | Store of {
       w : Gb_riscv.Insn.width;
       src : operand;
       base : operand;
       off : int;
+      id : int;
+      pc : int;
     }
   | Branch of {
       cond : Gb_riscv.Insn.branch_cond;
@@ -44,7 +53,7 @@ type op =
       (** MCB check: side exit (rollback) when entry [tag] conflicted *)
   | Mv of { dst : reg; src : operand }
   | Rdcycle of { dst : reg }
-  | Cflush of { base : operand; off : int }
+  | Cflush of { base : operand; off : int; id : int; pc : int }
   | Fence  (** scheduling barrier; timing no-op at execution *)
   | Exit of { stub : int }  (** unconditional end of trace *)
 
@@ -54,6 +63,10 @@ type stub = {
   commits : (reg * operand) list;
       (** guest register <- operand, applied in order *)
   target_pc : int;  (** guest pc to resume at *)
+  exit_id : int;
+      (** DFG node id of the exit this stub belongs to: memory ops with a
+          smaller id are architecturally committed when this exit is
+          taken, larger ids executed transiently (leakage audit) *)
 }
 
 (** Per-translation countermeasure / speculation statistics, surfaced by the

@@ -29,7 +29,7 @@ let straight_line () =
   (* h0 = 5; h1 = h0 + 7; exit committing a0 <- h1 *)
   let t =
     trace
-      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 1)) ]; target_pc = 0x2000 } ]
+      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 1)) ]; target_pc = 0x2000; exit_id = max_int } ]
       [
         [ Alu { op = add; dst = h 0; a = I 5L; b = I 0L } ];
         [ Alu { op = add; dst = h 1; a = R (h 0); b = I 7L } ];
@@ -48,7 +48,7 @@ let parallel_semantics () =
      h1 must read the pre-bundle h0. *)
   let t =
     trace
-      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 1)) ]; target_pc = 0 } ]
+      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 1)) ]; target_pc = 0; exit_id = max_int } ]
       [
         [ Alu { op = add; dst = h 0; a = I 1L; b = I 0L } ];
         [
@@ -68,8 +68,8 @@ let side_exit_commits () =
     trace
       ~stubs:
         [
-          { commits = [ (Gb_riscv.Reg.a0, I 1L) ]; target_pc = 0xAAAA };
-          { commits = [ (Gb_riscv.Reg.a0, I 2L) ]; target_pc = 0xBBBB };
+          { commits = [ (Gb_riscv.Reg.a0, I 1L) ]; target_pc = 0xAAAA; exit_id = max_int };
+          { commits = [ (Gb_riscv.Reg.a0, I 2L) ]; target_pc = 0xBBBB; exit_id = max_int };
         ]
       [
         [ Alu { op = add; dst = h 0; a = I 3L; b = I 4L } ];
@@ -91,19 +91,19 @@ let mcb_rollback () =
     trace
       ~stubs:
         [
-          { commits = []; target_pc = 0xD00D } (* rollback stub *);
-          { commits = [ (Gb_riscv.Reg.a0, R (h 0)) ]; target_pc = 0xFFFF };
+          { commits = []; target_pc = 0xD00D; exit_id = max_int } (* rollback stub *);
+          { commits = [ (Gb_riscv.Reg.a0, R (h 0)) ]; target_pc = 0xFFFF; exit_id = max_int };
         ]
       [
         [
           Load
             { w = Gb_riscv.Insn.D; unsigned = false; dst = h 0; base = I 128L;
-              off = 0; spec = Some 3 };
+              off = 0; spec = Some 3; id = 0; pc = 0; hoisted = false };
         ];
         [
           Store
             { w = Gb_riscv.Insn.D; src = I 42L; base = I (Int64.of_int store_addr);
-              off = 0 };
+              off = 0; id = 0; pc = 0 };
         ];
         [ Chk { tag = 3; stub = 0 } ];
         [ Exit { stub = 1 } ];
@@ -127,16 +127,16 @@ let mcb_partial_overlap () =
     trace
       ~stubs:
         [
-          { commits = []; target_pc = 1 };
-          { commits = []; target_pc = 2 };
+          { commits = []; target_pc = 1; exit_id = max_int };
+          { commits = []; target_pc = 2; exit_id = max_int };
         ]
       [
         [
           Load
             { w = Gb_riscv.Insn.D; unsigned = false; dst = h 0; base = I 512L;
-              off = 0; spec = Some 0 };
+              off = 0; spec = Some 0; id = 0; pc = 0; hoisted = false };
         ];
-        [ Store { w = Gb_riscv.Insn.B; src = I 1L; base = I 519L; off = 0 } ];
+        [ Store { w = Gb_riscv.Insn.B; src = I 1L; base = I 519L; off = 0; id = 0; pc = 0 } ];
         [ Chk { tag = 0; stub = 0 } ];
         [ Exit { stub = 1 } ];
       ]
@@ -149,12 +149,12 @@ let speculative_fault_deferred () =
   (* A speculative load far out of memory returns 0 and does not raise. *)
   let t =
     trace
-      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 0)) ]; target_pc = 0 } ]
+      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 0)) ]; target_pc = 0; exit_id = max_int } ]
       [
         [
           Load
             { w = Gb_riscv.Insn.D; unsigned = false; dst = h 0;
-              base = I 0x7FFFFFFFL; off = 0; spec = None };
+              base = I 0x7FFFFFFFL; off = 0; spec = None; id = 0; pc = 0; hoisted = false };
         ];
         [ Exit { stub = 0 } ];
       ]
@@ -168,12 +168,12 @@ let miss_stalls_pipeline () =
   (* Same trace run twice: first run misses (cold cache), second hits. *)
   let t =
     trace
-      ~stubs:[ { commits = []; target_pc = 0 } ]
+      ~stubs:[ { commits = []; target_pc = 0; exit_id = max_int } ]
       [
         [
           Load
             { w = Gb_riscv.Insn.D; unsigned = false; dst = h 0; base = I 4096L;
-              off = 0; spec = None };
+              off = 0; spec = None; id = 0; pc = 0; hoisted = false };
         ];
         [ Exit { stub = 0 } ];
       ]
@@ -193,12 +193,12 @@ let miss_stalls_pipeline () =
 let cflush_forces_miss () =
   let t_load =
     trace
-      ~stubs:[ { commits = []; target_pc = 0 } ]
+      ~stubs:[ { commits = []; target_pc = 0; exit_id = max_int } ]
       [
         [
           Load
             { w = Gb_riscv.Insn.D; unsigned = false; dst = h 0; base = I 4096L;
-              off = 0; spec = None };
+              off = 0; spec = None; id = 0; pc = 0; hoisted = false };
         ];
         [ Exit { stub = 0 } ];
       ]
@@ -217,7 +217,7 @@ let cflush_forces_miss () =
 let duplicate_write_rejected () =
   let t =
     trace
-      ~stubs:[ { commits = []; target_pc = 0 } ]
+      ~stubs:[ { commits = []; target_pc = 0; exit_id = max_int } ]
       [
         [
           Alu { op = add; dst = h 0; a = I 1L; b = I 0L };
@@ -237,13 +237,13 @@ let rdcycle_observes_stalls () =
   let t =
     trace
       ~stubs:
-        [ { commits = [ (Gb_riscv.Reg.a0, R (h 2)) ]; target_pc = 0 } ]
+        [ { commits = [ (Gb_riscv.Reg.a0, R (h 2)) ]; target_pc = 0; exit_id = max_int } ]
       [
         [ Rdcycle { dst = h 0 } ];
         [
           Load
             { w = Gb_riscv.Insn.D; unsigned = false; dst = h 3; base = I 8192L;
-              off = 0; spec = None };
+              off = 0; spec = None; id = 0; pc = 0; hoisted = false };
         ];
         [ Rdcycle { dst = h 1 } ];
         [ Alu { op = Gb_riscv.Insn.SUB; dst = h 2; a = R (h 1); b = R (h 0) } ];
@@ -275,17 +275,18 @@ let subword_memory_ops () =
                 (Gb_riscv.Reg.a2, R (h 3));
               ];
             target_pc = 0;
+            exit_id = max_int;
           };
         ]
       [
         (* store 0xFFFF8001 as a word at 256 *)
-        [ Store { w = Gb_riscv.Insn.W; src = I 0xFFFF8001L; base = I 256L; off = 0 } ];
+        [ Store { w = Gb_riscv.Insn.W; src = I 0xFFFF8001L; base = I 256L; off = 0; id = 0; pc = 0 } ];
         (* signed word load -> sign-extends *)
-        [ Load { w = Gb_riscv.Insn.W; unsigned = false; dst = h 1; base = I 256L; off = 0; spec = None } ];
+        [ Load { w = Gb_riscv.Insn.W; unsigned = false; dst = h 1; base = I 256L; off = 0; spec = None; id = 0; pc = 0; hoisted = false } ];
         (* unsigned halfword load of the low half -> 0x8001 *)
-        [ Load { w = Gb_riscv.Insn.H; unsigned = true; dst = h 2; base = I 256L; off = 0; spec = None } ];
+        [ Load { w = Gb_riscv.Insn.H; unsigned = true; dst = h 2; base = I 256L; off = 0; spec = None; id = 0; pc = 0; hoisted = false } ];
         (* signed halfword load -> sign-extends 0x8001 *)
-        [ Load { w = Gb_riscv.Insn.H; unsigned = false; dst = h 3; base = I 256L; off = 0; spec = None } ];
+        [ Load { w = Gb_riscv.Insn.H; unsigned = false; dst = h 3; base = I 256L; off = 0; spec = None; id = 0; pc = 0; hoisted = false } ];
         [ Exit { stub = 0 } ];
       ]
   in
