@@ -59,6 +59,10 @@ let print_result (r : Gb_system.Processor.result) =
   Printf.printf "rollbacks        %Ld\n" r.Gb_system.Processor.rollbacks;
   Printf.printf "stall cycles     %Ld\n" r.Gb_system.Processor.stall_cycles;
   Printf.printf "translations     %d\n" r.Gb_system.Processor.translations;
+  Printf.printf "dispatch exits   %Ld\n" r.Gb_system.Processor.dispatch_exits;
+  Printf.printf "chain follows    %Ld\n" r.Gb_system.Processor.chain_follows;
+  if r.Gb_system.Processor.cc_evictions > 0 then
+    Printf.printf "cc evictions     %d\n" r.Gb_system.Processor.cc_evictions;
   Printf.printf "spec loads       %d\n" r.Gb_system.Processor.spec_loads;
   Printf.printf "patterns         %d\n" r.Gb_system.Processor.patterns_found;
   Printf.printf "constrained      %d\n" r.Gb_system.Processor.loads_constrained;
@@ -87,7 +91,19 @@ let cache_kib_arg =
   Arg.(value & opt (some int) None
        & info [ "cache-kib" ] ~docv:"KIB" ~doc:"L1D capacity in KiB.")
 
-let build_config mode width mcb hot unroll cache_kib =
+let cc_capacity_arg =
+  Arg.(value & opt (some int) None
+       & info [ "cc-capacity" ] ~docv:"BUNDLES"
+           ~doc:"Code-cache capacity budget in VLIW bundles (default 65536; \
+                 small values force evictions and chain unlinking).")
+
+let no_chain_flag =
+  Arg.(value & flag
+       & info [ "no-chain" ]
+           ~doc:"Disable trace chaining: every trace exit returns to the \
+                 dispatcher (the pre-chaining behaviour).")
+
+let build_config mode width mcb hot unroll cache_kib cc_capacity no_chain =
   let config = Gb_system.Processor.config_for mode in
   let engine = config.Gb_system.Processor.engine in
   let resources =
@@ -111,9 +127,19 @@ let build_config mode width mcb hot unroll cache_kib =
     | Some visits ->
       { engine.Gb_dbt.Engine.trace_cfg with Gb_dbt.Trace_builder.max_visits = visits }
   in
+  let cache =
+    {
+      Gb_dbt.Code_cache.capacity =
+        Option.value
+          ~default:engine.Gb_dbt.Engine.cache.Gb_dbt.Code_cache.capacity
+          cc_capacity;
+      chain =
+        engine.Gb_dbt.Engine.cache.Gb_dbt.Code_cache.chain && not no_chain;
+    }
+  in
   let engine =
     { engine with
-      Gb_dbt.Engine.resources; opt_override; trace_cfg;
+      Gb_dbt.Engine.resources; opt_override; trace_cfg; cache;
       hot_threshold =
         Option.value ~default:engine.Gb_dbt.Engine.hot_threshold hot }
   in
@@ -252,6 +278,9 @@ let emit_observability obs ~trace_out ~metrics_out ~profile =
           "mitigation.loads_constrained"; "mitigation.fences_inserted";
           "vliw.trace_runs"; "vliw.side_exits"; "vliw.rollbacks";
           "vliw.mcb_conflicts"; "cache.read_misses"; "cache.write_misses";
+          "code_cache.evictions"; "code_cache.chain_links";
+          "code_cache.chain_follows"; "code_cache.chain_breaks";
+          "processor.dispatch_exits";
         ]
       in
       Gb_util.Table.print ~header:[ "counter"; "value" ]
@@ -295,8 +324,8 @@ let run_json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
 
 let run_cmd =
-  let run name mode report json width mcb hot unroll cache_kib trace_out
-      metrics_out profile audit seed =
+  let run name mode report json width mcb hot unroll cache_kib cc_capacity
+      no_chain trace_out metrics_out profile audit seed =
     match
       Result.bind (find_workload name) (fun w ->
           Result.map (fun () -> w) (check_outputs trace_out metrics_out))
@@ -306,7 +335,9 @@ let run_cmd =
       let obs = sink_of_flags ~seed trace_out metrics_out profile audit in
       let proc =
         Gb_system.Processor.create
-          ~config:(build_config mode width mcb hot unroll cache_kib)
+          ~config:
+            (build_config mode width mcb hot unroll cache_kib cc_capacity
+               no_chain)
           ~obs ~audit
           (Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program)
       in
@@ -334,8 +365,8 @@ let run_cmd =
       term_result
         (const run $ workload_arg $ mode_arg $ report_flag $ run_json_flag
         $ width_arg $ mcb_arg $ hot_arg $ unroll_arg $ cache_kib_arg
-        $ trace_out_arg $ metrics_out_arg $ profile_flag $ audit_flag
-        $ seed_arg))
+        $ cc_capacity_arg $ no_chain_flag $ trace_out_arg $ metrics_out_arg
+        $ profile_flag $ audit_flag $ seed_arg))
 
 (* --- attack ------------------------------------------------------------- *)
 
@@ -346,8 +377,8 @@ let variant_arg =
     & info [] ~docv:"VARIANT" ~doc:"Spectre variant: v1 or v4.")
 
 let attack_cmd =
-  let run variant mode secret width mcb hot unroll cache_kib trace_out
-      metrics_out profile audit seed =
+  let run variant mode secret width mcb hot unroll cache_kib cc_capacity
+      no_chain trace_out metrics_out profile audit seed =
     match check_outputs trace_out metrics_out with
     | Error e -> Error e
     | Ok () ->
@@ -356,7 +387,9 @@ let attack_cmd =
         | `V1 -> Gb_attack.Spectre_v1.program ~secret ()
         | `V4 -> Gb_attack.Spectre_v4.program ~secret ()
       in
-      let config = build_config mode width mcb hot unroll cache_kib in
+      let config =
+        build_config mode width mcb hot unroll cache_kib cc_capacity no_chain
+      in
       let obs = sink_of_flags ~seed trace_out metrics_out profile audit in
       let o =
         Gb_attack.Runner.run ~config ~obs ~audit ~seed ~mode ~secret program
@@ -372,8 +405,9 @@ let attack_cmd =
     Term.(
       term_result
         (const run $ variant_arg $ mode_arg $ secret_arg $ width_arg $ mcb_arg
-        $ hot_arg $ unroll_arg $ cache_kib_arg $ trace_out_arg
-        $ metrics_out_arg $ profile_flag $ audit_flag $ seed_arg))
+        $ hot_arg $ unroll_arg $ cache_kib_arg $ cc_capacity_arg
+        $ no_chain_flag $ trace_out_arg $ metrics_out_arg $ profile_flag
+        $ audit_flag $ seed_arg))
 
 (* --- trace -------------------------------------------------------------- *)
 

@@ -1,0 +1,252 @@
+type tier = Block | Trace
+
+type code_mode = Nonspec | Mitigated of Gb_core.Mitigation.mode
+
+type entry = {
+  e_pc : int;
+  e_trace : Gb_vliw.Vinsn.trace;
+  e_tier : tier;
+  e_mode : code_mode;
+  e_gen : int;
+  mutable e_stamp : int;
+}
+
+type config = { capacity : int; chain : bool }
+
+let default_config =
+  { capacity = 65536; chain = Sys.getenv_opt "GHOSTBUSTERS_NO_CHAIN" = None }
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+  mutable evictions : int;
+  mutable chain_links : int;
+  mutable chain_breaks : int;
+}
+
+type t = {
+  cfg : config;
+  tbl : (int, entry) Hashtbl.t;
+  in_links : (int, (int * Gb_vliw.Vinsn.stub) list ref) Hashtbl.t;
+      (* target pc -> (source pc, stub) of every link ever made into the
+         translation currently (or formerly) installed there; stale pairs
+         (stub already unlinked, or re-pointed at a newer translation of
+         the same pc — never of a different pc, since links require
+         stub.target_pc = target) are skipped via the identity check *)
+  mutable used : int;
+  mutable lru_clock : int;
+  mutable next_gen : int;
+  stats : stats;
+  obs : Gb_obs.Sink.t;
+  mutable on_evict : pc:int -> tier -> unit;
+}
+
+let create ?(obs = Gb_obs.Sink.noop) cfg =
+  {
+    cfg;
+    tbl = Hashtbl.create 128;
+    in_links = Hashtbl.create 128;
+    used = 0;
+    lru_clock = 0;
+    next_gen = 0;
+    stats =
+      {
+        hits = 0;
+        misses = 0;
+        inserts = 0;
+        evictions = 0;
+        chain_links = 0;
+        chain_breaks = 0;
+      };
+    obs;
+    on_evict = (fun ~pc:_ _ -> ());
+  }
+
+let config t = t.cfg
+
+let stats t = t.stats
+
+let set_on_evict t f = t.on_evict <- f
+
+let used_bundles t = t.used
+
+let touch t e =
+  t.lru_clock <- t.lru_clock + 1;
+  e.e_stamp <- t.lru_clock
+
+let peek t pc = Hashtbl.find_opt t.tbl pc
+
+let find t pc =
+  match Hashtbl.find_opt t.tbl pc with
+  | Some e ->
+    touch t e;
+    t.stats.hits <- t.stats.hits + 1;
+    Gb_obs.Sink.incr t.obs "code_cache.hits";
+    Some e
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    Gb_obs.Sink.incr t.obs "code_cache.misses";
+    None
+
+let gauges t =
+  if Gb_obs.Sink.is_active t.obs then begin
+    Gb_obs.Sink.set_gauge t.obs "code_cache.bundles" (float_of_int t.used);
+    Gb_obs.Sink.set_gauge t.obs "code_cache.entries"
+      (float_of_int (Hashtbl.length t.tbl))
+  end
+
+let break_stub t ~src_pc (stub : Gb_vliw.Vinsn.stub) =
+  match stub.Gb_vliw.Vinsn.chain with
+  | None -> ()
+  | Some target ->
+    stub.Gb_vliw.Vinsn.chain <- None;
+    t.stats.chain_breaks <- t.stats.chain_breaks + 1;
+    if Gb_obs.Sink.is_active t.obs then begin
+      Gb_obs.Sink.incr t.obs "code_cache.chain_breaks";
+      Gb_obs.Sink.event t.obs ~pc:stub.Gb_vliw.Vinsn.target_pc ~region:src_pc
+        (Gb_obs.Event.Chain
+           { target = target.Gb_vliw.Vinsn.entry_pc; op = `Break })
+    end
+
+(* Sever every link touching [e]: its own out-links (the pipeline may
+   still hold the trace object mid-flight and must not follow chains out
+   of dropped code) and all in-links whose stub still points at exactly
+   this trace object. *)
+let unlink t e =
+  Array.iter (break_stub t ~src_pc:e.e_pc) e.e_trace.Gb_vliw.Vinsn.stubs;
+  match Hashtbl.find_opt t.in_links e.e_pc with
+  | None -> ()
+  | Some l ->
+    List.iter
+      (fun (src_pc, (stub : Gb_vliw.Vinsn.stub)) ->
+        match stub.Gb_vliw.Vinsn.chain with
+        | Some target when target == e.e_trace -> break_stub t ~src_pc stub
+        | Some _ | None -> ())
+      !l;
+    Hashtbl.remove t.in_links e.e_pc
+
+let remove t e =
+  unlink t e;
+  Hashtbl.remove t.tbl e.e_pc;
+  t.used <- t.used - Gb_vliw.Vinsn.bundle_count e.e_trace
+
+let invalidate t pc =
+  match Hashtbl.find_opt t.tbl pc with
+  | None -> ()
+  | Some e ->
+    remove t e;
+    gauges t
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match acc with
+        | Some v when v.e_stamp <= e.e_stamp -> acc
+        | _ -> Some e)
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some e ->
+    remove t e;
+    t.stats.evictions <- t.stats.evictions + 1;
+    if Gb_obs.Sink.is_active t.obs then begin
+      Gb_obs.Sink.incr t.obs "code_cache.evictions";
+      Gb_obs.Sink.event t.obs ~pc:e.e_pc ~region:e.e_pc
+        (Gb_obs.Event.Tier_transition { tier = "evicted" })
+    end;
+    t.on_evict ~pc:e.e_pc e.e_tier
+
+let insert t ~pc ~tier ~mode trace =
+  (* same-pc replacement (tier promotion, retranslation) is not an
+     eviction: no stat, no hook *)
+  (match Hashtbl.find_opt t.tbl pc with
+  | Some old -> remove t old
+  | None -> ());
+  let cost = Gb_vliw.Vinsn.bundle_count trace in
+  while t.used + cost > t.cfg.capacity && Hashtbl.length t.tbl > 0 do
+    evict_lru t
+  done;
+  t.next_gen <- t.next_gen + 1;
+  let e =
+    { e_pc = pc; e_trace = trace; e_tier = tier; e_mode = mode;
+      e_gen = t.next_gen; e_stamp = 0 }
+  in
+  touch t e;
+  Hashtbl.replace t.tbl pc e;
+  t.used <- t.used + cost;
+  t.stats.inserts <- t.stats.inserts + 1;
+  gauges t;
+  e
+
+(* Non-speculative code is mode-neutral: it neither leaks speculative
+   state of its own nor inherits any (the MCB is cleared and the audit's
+   run window closed at every stub commit), so it may chain from and to
+   anything. Two speculating translations must agree on their mode. *)
+let compatible ~src ~dst =
+  match (src.e_mode, dst.e_mode) with
+  | Nonspec, _ | _, Nonspec -> true
+  | Mitigated a, Mitigated b -> a = b
+
+let link t ~src ~stub ~dst =
+  if
+    (not t.cfg.chain)
+    || stub < 0
+    || stub >= Array.length src.e_trace.Gb_vliw.Vinsn.stubs
+    || not (compatible ~src ~dst)
+  then false
+  else begin
+    let s = src.e_trace.Gb_vliw.Vinsn.stubs.(stub) in
+    if s.Gb_vliw.Vinsn.target_pc <> dst.e_pc then false
+    else
+      match s.Gb_vliw.Vinsn.chain with
+      | Some target when target == dst.e_trace -> true
+      | _ ->
+        s.Gb_vliw.Vinsn.chain <- Some dst.e_trace;
+        let l =
+          match Hashtbl.find_opt t.in_links dst.e_pc with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.replace t.in_links dst.e_pc l;
+            l
+        in
+        l := (src.e_pc, s) :: !l;
+        t.stats.chain_links <- t.stats.chain_links + 1;
+        if Gb_obs.Sink.is_active t.obs then begin
+          Gb_obs.Sink.incr t.obs "code_cache.chain_links";
+          Gb_obs.Sink.event t.obs ~pc:s.Gb_vliw.Vinsn.target_pc
+            ~region:src.e_pc
+            (Gb_obs.Event.Chain { target = dst.e_pc; op = `Link })
+        end;
+        true
+  end
+
+let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+
+let occupancy t tier =
+  Hashtbl.fold
+    (fun _ e ((n, b) as acc) ->
+      if e.e_tier = tier then
+        (n + 1, b + Gb_vliw.Vinsn.bundle_count e.e_trace)
+      else acc)
+    t.tbl (0, 0)
+
+let well_linked t =
+  Hashtbl.fold
+    (fun _ e ok ->
+      ok
+      && Array.for_all
+           (fun (s : Gb_vliw.Vinsn.stub) ->
+             match s.Gb_vliw.Vinsn.chain with
+             | None -> true
+             | Some target -> (
+               s.Gb_vliw.Vinsn.target_pc = target.Gb_vliw.Vinsn.entry_pc
+               &&
+               match Hashtbl.find_opt t.tbl target.Gb_vliw.Vinsn.entry_pc with
+               | Some e' -> e'.e_trace == target
+               | None -> false))
+           e.e_trace.Gb_vliw.Vinsn.stubs)
+    t.tbl true

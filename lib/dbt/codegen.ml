@@ -101,6 +101,7 @@ let emit res ~n_hidden ~cycles ~entry_pc ~guest_insns ~meta g =
             commits;
             target_pc = node.Gb_ir.Dfg.exit_pc;
             exit_id = node.Gb_ir.Dfg.id;
+            chain = None;
           }
           :: !stubs;
         incr n_stubs

@@ -9,6 +9,7 @@ type config = {
   lat : Gb_ir.Latency.t;
   trace_cfg : Trace_builder.config;
   n_hidden : int;
+  cache : Code_cache.config;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     lat = Gb_ir.Latency.default;
     trace_cfg = Trace_builder.default_config;
     n_hidden = 96;
+    cache = Code_cache.default_config;
   }
 
 type stats = {
@@ -42,8 +44,7 @@ type stats = {
 type t = {
   cfg : config;
   mem : Gb_riscv.Mem.t;
-  cache : (int, Gb_vliw.Vinsn.trace) Hashtbl.t;
-  blocks : (int, Gb_vliw.Vinsn.trace) Hashtbl.t;  (** first-level tier *)
+  cc : Code_cache.t;  (** the single owner of all translated code *)
   block_meta : (int, int option) Hashtbl.t;
       (** entry -> terminal branch pc of the first-level block *)
   blacklist : (int, unit) Hashtbl.t;
@@ -63,11 +64,10 @@ type t = {
 }
 
 let create ?(obs = Gb_obs.Sink.noop) ?audit cfg ~mem =
-  {
+  let t = {
     cfg;
     mem;
-    cache = Hashtbl.create 64;
-    blocks = Hashtbl.create 128;
+    cc = Code_cache.create ~obs cfg.cache;
     block_meta = Hashtbl.create 128;
     blacklist = Hashtbl.create 16;
     fp_blacklist = Hashtbl.create 16;
@@ -96,15 +96,32 @@ let create ?(obs = Gb_obs.Sink.noop) ?audit cfg ~mem =
     obs;
     audit;
   }
+  in
+  (* The bugfix half of the eviction contract: a capacity-evicted region
+     that later gets re-promoted must not inherit the adaptive counters
+     (runs / rollbacks / side exits) accumulated by its previous
+     incarnation — they describe code that no longer exists. Explicit
+     invalidation (retranslate / despec) does NOT come through here;
+     those paths manage their own resets. *)
+  Code_cache.set_on_evict t.cc (fun ~pc tier ->
+      Hashtbl.remove t.region_runs pc;
+      Hashtbl.remove t.region_rollbacks pc;
+      Hashtbl.remove t.region_side_exits pc;
+      match tier with
+      | Code_cache.Block -> Hashtbl.remove t.block_meta pc
+      | Code_cache.Trace -> ());
+  t
 
 let config t = t.cfg
 
 let stats t = t.stats
 
+let code_cache t = t.cc
+
 let lookup t pc =
-  match Hashtbl.find_opt t.cache pc with
-  | Some trace -> Some trace
-  | None -> Hashtbl.find_opt t.blocks pc
+  match Code_cache.find t.cc pc with
+  | Some e -> Some e.Code_cache.e_trace
+  | None -> None
 
 let record_branch_outcome t pc taken =
   let t_cnt, total =
@@ -130,7 +147,7 @@ let consider_despeculation t entry =
          past the hot threshold, so the next arrival re-translates it
          under the de-speculated configuration *)
       Hashtbl.replace t.despeculated entry ();
-      Hashtbl.remove t.cache entry;
+      Code_cache.invalidate t.cc entry;
       Hashtbl.remove t.blacklist entry;
       t.stats.despeculations <- t.stats.despeculations + 1;
       Gb_obs.Sink.incr t.obs "translate.despeculations";
@@ -155,9 +172,14 @@ let max_bias_rebuilds = 2
    the previous phase would otherwise dominate the ratio forever) *)
 let relearn_window = 16
 
+let has_trace t entry =
+  match Code_cache.peek t.cc entry with
+  | Some e -> e.Code_cache.e_tier = Code_cache.Trace
+  | None -> false
+
 let consider_retranslation t entry =
   if t.cfg.adaptive_retranslate
-     && Hashtbl.mem t.cache entry
+     && has_trace t entry
      && Option.value ~default:0 (Hashtbl.find_opt t.rebuilds entry)
         < max_bias_rebuilds
   then begin
@@ -169,7 +191,7 @@ let consider_retranslation t entry =
     then begin
       Hashtbl.replace t.rebuilds entry
         (1 + Option.value ~default:0 (Hashtbl.find_opt t.rebuilds entry));
-      Hashtbl.remove t.cache entry;
+      Code_cache.invalidate t.cc entry;
       Hashtbl.remove t.blacklist entry;
       Hashtbl.replace t.region_side_exits entry 0;
       Hashtbl.replace t.region_runs entry 0;
@@ -207,14 +229,17 @@ let record_block_exit t ~entry info =
   | Some None | None -> ()
 
 let translate_first_pass t entry =
-  if Hashtbl.mem t.blocks entry || Hashtbl.mem t.fp_blacklist entry then ()
+  if Code_cache.peek t.cc entry <> None || Hashtbl.mem t.fp_blacklist entry
+  then ()
   else
     match
       Gb_obs.Sink.time t.obs "first_pass" (fun () ->
           First_pass.translate ~mem:t.mem ~entry)
     with
     | { First_pass.trace; branch_pc } ->
-      Hashtbl.replace t.blocks entry trace;
+      ignore
+        (Code_cache.insert t.cc ~pc:entry ~tier:Code_cache.Block
+           ~mode:Code_cache.Nonspec trace);
       Hashtbl.replace t.block_meta entry branch_pc;
       t.stats.first_pass_translations <- t.stats.first_pass_translations + 1;
       Gb_obs.Sink.incr t.obs "translate.first_pass";
@@ -245,9 +270,10 @@ let graph_meta g (report : Gb_core.Mitigation.report) =
   }
 
 let translate t entry =
-  match Hashtbl.find_opt t.cache entry with
-  | Some trace -> Some trace
-  | None ->
+  match Code_cache.peek t.cc entry with
+  | Some e when e.Code_cache.e_tier = Code_cache.Trace ->
+    Some e.Code_cache.e_trace
+  | Some _ | None ->
     if Hashtbl.mem t.blacklist entry then None
     else begin
       let obs = t.obs in
@@ -343,9 +369,15 @@ let translate t entry =
       in
       match result with
       | Some (trace, report, len, branch_pcs) ->
-        Hashtbl.replace t.cache entry trace;
+        (* de-speculated regions carry no speculative loads at all, so
+           they are a safe chain target from any predecessor *)
+        let mode =
+          if Hashtbl.mem t.despeculated entry then Code_cache.Nonspec
+          else Code_cache.Mitigated t.cfg.mode
+        in
+        ignore
+          (Code_cache.insert t.cc ~pc:entry ~tier:Code_cache.Trace ~mode trace);
         Hashtbl.replace t.trace_branches entry branch_pcs;
-        Hashtbl.remove t.blocks entry;
         Hashtbl.remove t.block_meta entry;
         let s = t.stats in
         s.translations <- s.translations + 1;
@@ -402,23 +434,55 @@ let regions t =
   let runs entry =
     Option.value ~default:0 (Hashtbl.find_opt t.region_runs entry)
   in
-  let of_table tier table =
-    Hashtbl.fold
-      (fun entry trace acc ->
-        { r_entry = entry; r_tier = tier; r_trace = trace; r_runs = runs entry }
-        :: acc)
-      table []
-  in
   List.sort
     (fun a b -> compare (b.r_runs, a.r_entry) (a.r_runs, b.r_entry))
-    (of_table `Trace t.cache @ of_table `Block t.blocks)
+    (List.map
+       (fun e ->
+         {
+           r_entry = e.Code_cache.e_pc;
+           r_tier =
+             (match e.Code_cache.e_tier with
+             | Code_cache.Block -> `Block
+             | Code_cache.Trace -> `Trace);
+           r_trace = e.Code_cache.e_trace;
+           r_runs = runs e.Code_cache.e_pc;
+         })
+       (Code_cache.entries t.cc))
 
 let record_block_entry t pc =
   let count = (match Hashtbl.find_opt t.hot pc with Some c -> c | None -> 0) + 1 in
   Hashtbl.replace t.hot pc count;
   if count >= t.cfg.hot_threshold
-     && (not (Hashtbl.mem t.cache pc))
+     && (not (has_trace t pc))
      && not (Hashtbl.mem t.blacklist pc)
   then ignore (translate t pc)
   else if count >= t.cfg.first_pass_threshold && count < t.cfg.hot_threshold
   then translate_first_pass t pc
+
+(* Lazy chaining, QEMU-style: after the dispatcher has handled a trace
+   exit (and possibly translated the successor), patch the taken stub to
+   transfer directly next time. Everything that makes this safe lives in
+   {!Code_cache.link}: tier and mitigation-mode compatibility, and the
+   stub's own target_pc having to equal the successor's entry — so a
+   stale [info] (the source retranslated since the exit) cannot create a
+   wrong edge. Rollback stubs are never linked: MCB recovery must
+   re-enter the dispatcher-visible path. *)
+let chain t (info : Gb_vliw.Pipeline.exit_info) =
+  if info.Gb_vliw.Pipeline.kind <> Gb_vliw.Pipeline.Rollback then
+    match
+      ( Code_cache.peek t.cc info.Gb_vliw.Pipeline.exit_entry,
+        Code_cache.peek t.cc info.Gb_vliw.Pipeline.next_pc )
+    with
+    | Some src, Some dst ->
+      ignore
+        (Code_cache.link t.cc ~src ~stub:info.Gb_vliw.Pipeline.taken_stub ~dst)
+    | _ -> ()
+
+let chained_successor t (info : Gb_vliw.Pipeline.exit_info) =
+  match
+    ( Code_cache.peek t.cc info.Gb_vliw.Pipeline.exit_entry,
+      Code_cache.find t.cc info.Gb_vliw.Pipeline.next_pc )
+  with
+  | Some src, Some dst when Code_cache.compatible ~src ~dst ->
+    Some dst.Code_cache.e_trace
+  | _ -> None

@@ -1,5 +1,7 @@
-(** The DBT engine: profiling, hot-spot detection, translation and the
-    translation cache.
+(** The DBT engine: profiling, hot-spot detection and translation.
+    Installed code lives in the bounded {!Code_cache}, which owns
+    capacity, eviction and trace chaining; the engine decides {e when}
+    to translate and feeds the cache.
 
     The co-designed processor calls {!record_branch} / {!record_block_entry}
     while interpreting; when a block-entry counter crosses the hot
@@ -33,11 +35,15 @@ type config = {
   lat : Gb_ir.Latency.t;
   trace_cfg : Trace_builder.config;
   n_hidden : int;  (** hidden registers available to the code generator *)
+  cache : Code_cache.config;
+      (** capacity budget and chaining switch of the code cache the
+          engine installs translations into *)
 }
 
 val default_config : config
 (** First-pass threshold 4, hot threshold 24, [Unsafe] mode, default
-    resources/latencies, 96 hidden registers. *)
+    resources/latencies, 96 hidden registers,
+    {!Code_cache.default_config}. *)
 
 type stats = {
   mutable retranslations : int;
@@ -72,14 +78,42 @@ val config : t -> config
 
 val stats : t -> stats
 
+val code_cache : t -> Code_cache.t
+(** The bounded cache holding all installed code (both tiers). *)
+
 val lookup : t -> int -> Gb_vliw.Vinsn.trace option
-(** Optimized traces take precedence over first-level blocks. *)
+(** The installed translation at a pc, either tier (a pc has at most one:
+    trace promotion replaces the first-level block). Counts a code-cache
+    hit/miss and refreshes recency. *)
 
 val record_block_exit : t -> entry:int -> Gb_vliw.Pipeline.exit_info -> unit
-(** Called by the processor after running a translated region: counts the
-    region's executions and keeps the branch profile alive while warm code
+(** Called after every pass over a translated region — by the processor's
+    dispatch loop for the final exit of a {!Gb_vliw.Pipeline.run}, and by
+    the pipeline's [on_chain] callback for every chained transfer it
+    followed in between (so adaptive retranslate/despec still see every
+    run even when the dispatcher is bypassed): counts the region's
+    executions and keeps the branch profile alive while warm code
     executes on the first-level tier (whose blocks end at their first
     conditional branch). *)
+
+val chain : t -> Gb_vliw.Pipeline.exit_info -> unit
+(** Lazy trace chaining: given the exit the dispatcher just handled, try
+    to patch the taken stub to transfer directly into the (now
+    translated) successor. All safety conditions — both endpoints
+    currently installed, compatible mitigation modes, stub target =
+    successor entry, never a rollback stub — are enforced here and in
+    {!Code_cache.link}; calling it with a stale exit record is
+    harmless. *)
+
+val chained_successor :
+  t -> Gb_vliw.Pipeline.exit_info -> Gb_vliw.Vinsn.trace option
+(** The translation a chained transfer should continue into: the entry
+    currently installed at the exit's [next_pc], provided the source
+    region is still installed and the modes are compatible
+    ({!Code_cache.compatible}). Counts a code-cache hit/miss and
+    refreshes the target's LRU stamp, exactly as the dispatcher's
+    {!lookup} would — chained bursts keep hot code recent. [None] sends
+    the exit back to the dispatcher. *)
 
 type region = {
   r_entry : int;

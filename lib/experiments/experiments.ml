@@ -63,15 +63,35 @@ let attack_programs ~secret =
     ("spectre-v4", Gb_attack.Spectre_v4.program ~secret ());
   ]
 
-let e1_poc_matrix ?(secret = default_secret) ?(audit = false) ?(seed = 1L) () =
+(* [config_for mode] with the code cache capped at [cc_capacity] bundles
+   (and everything else untouched) — the capacity-constrained
+   configurations of E1 and E8 *)
+let config_capped mode cc_capacity =
+  let config = Gb_system.Processor.config_for mode in
+  let engine = config.Gb_system.Processor.engine in
+  {
+    config with
+    Gb_system.Processor.engine =
+      {
+        engine with
+        Gb_dbt.Engine.cache =
+          { engine.Gb_dbt.Engine.cache with
+            Gb_dbt.Code_cache.capacity = cc_capacity };
+      };
+  }
+
+let e1_poc_matrix ?(secret = default_secret) ?(audit = false) ?(seed = 1L)
+    ?cc_capacity () =
   List.concat_map
     (fun (variant, program) ->
       List.map
         (fun mode ->
+          let config = Option.map (config_capped mode) cc_capacity in
           {
             variant;
             mode;
-            outcome = Gb_attack.Runner.run ~audit ~seed ~mode ~secret program;
+            outcome =
+              Gb_attack.Runner.run ?config ~audit ~seed ~mode ~secret program;
           })
         Gb_core.Mitigation.all_modes)
     (attack_programs ~secret)
@@ -110,6 +130,96 @@ let e7_translation_channel ?(secret = "K") () =
   List.map
     (fun mode -> (mode, Gb_attack.Translation_channel.run ~mode ~secret ()))
     Gb_core.Mitigation.all_modes
+
+type chain_row = {
+  c_name : string;
+  c_guest_insns : int64;
+  c_exits_nochain : int64;
+  c_exits_chain : int64;
+  c_chain_follows : int64;
+  c_tiny_exits : int64;  (** dispatch exits with chaining + tiny cache *)
+  c_tiny_evictions : int;
+  c_cycles_equal : bool;
+      (** chaining must not change the simulated cycle count *)
+  c_arch_equal : bool;
+      (** tiny-cache run produced the same architectural result *)
+}
+
+let per_1k exits insns =
+  if Int64.equal insns 0L then 0.
+  else 1000. *. Int64.to_float exits /. Int64.to_float insns
+
+let chain_reduction r =
+  let after = per_1k r.c_exits_chain r.c_guest_insns in
+  if after = 0. then infinity
+  else per_1k r.c_exits_nochain r.c_guest_insns /. after
+
+let e8_tiny_capacity = 192
+
+let e8_chaining ?(mode = Gb_core.Mitigation.Unsafe) () =
+  let chain_cfg ~chain ~capacity =
+    let config = config_capped mode capacity in
+    let engine = config.Gb_system.Processor.engine in
+    {
+      config with
+      Gb_system.Processor.engine =
+        {
+          engine with
+          Gb_dbt.Engine.cache =
+            { engine.Gb_dbt.Engine.cache with Gb_dbt.Code_cache.chain };
+        };
+    }
+  in
+  let default_cap = Gb_dbt.Code_cache.default_config.Gb_dbt.Code_cache.capacity in
+  List.map
+    (fun (w : Gb_workloads.Polybench.t) ->
+      let program =
+        Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program
+      in
+      let run config = Gb_system.Processor.run_program ~config program in
+      let off = run (chain_cfg ~chain:false ~capacity:default_cap) in
+      let on = run (chain_cfg ~chain:true ~capacity:default_cap) in
+      let tiny = run (chain_cfg ~chain:true ~capacity:e8_tiny_capacity) in
+      {
+        c_name = w.Gb_workloads.Polybench.name;
+        c_guest_insns = on.Gb_system.Processor.guest_insns;
+        c_exits_nochain = off.Gb_system.Processor.dispatch_exits;
+        c_exits_chain = on.Gb_system.Processor.dispatch_exits;
+        c_chain_follows = on.Gb_system.Processor.chain_follows;
+        c_tiny_exits = tiny.Gb_system.Processor.dispatch_exits;
+        c_tiny_evictions = tiny.Gb_system.Processor.cc_evictions;
+        c_cycles_equal =
+          Int64.equal off.Gb_system.Processor.cycles
+            on.Gb_system.Processor.cycles;
+        c_arch_equal =
+          off.Gb_system.Processor.exit_code
+            = tiny.Gb_system.Processor.exit_code
+          && off.Gb_system.Processor.output = tiny.Gb_system.Processor.output;
+      })
+    Gb_workloads.Polybench.all
+
+let chain_row_json r =
+  Gb_util.Json.Obj
+    [
+      ("name", Gb_util.Json.String r.c_name);
+      ("guest_insns", Gb_util.Json.Int (Int64.to_int r.c_guest_insns));
+      ("dispatch_exits_no_chain", Gb_util.Json.Int (Int64.to_int r.c_exits_nochain));
+      ("dispatch_exits_chain", Gb_util.Json.Int (Int64.to_int r.c_exits_chain));
+      ("chain_follows", Gb_util.Json.Int (Int64.to_int r.c_chain_follows));
+      ("exits_per_1k_no_chain", Gb_util.Json.Float (per_1k r.c_exits_nochain r.c_guest_insns));
+      ("exits_per_1k_chain", Gb_util.Json.Float (per_1k r.c_exits_chain r.c_guest_insns));
+      ("tiny_cache_evictions", Gb_util.Json.Int r.c_tiny_evictions);
+      ("cycles_equal", Gb_util.Json.Bool r.c_cycles_equal);
+      ("tiny_cache_arch_equal", Gb_util.Json.Bool r.c_arch_equal);
+    ]
+
+let chaining_json rows =
+  Gb_util.Json.Obj
+    [
+      ("experiment", Gb_util.Json.String "trace_chaining");
+      ("tiny_capacity_bundles", Gb_util.Json.Int e8_tiny_capacity);
+      ("rows", Gb_util.Json.List (List.map chain_row_json rows));
+    ]
 
 let geomean_slowdown rows ~mode =
   Gb_util.Stats.geomean (List.map (fun mc -> slowdown mc ~mode) rows)

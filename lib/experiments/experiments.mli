@@ -42,10 +42,17 @@ type poc_row = {
 }
 
 val e1_poc_matrix :
-  ?secret:string -> ?audit:bool -> ?seed:int64 -> unit -> poc_row list
+  ?secret:string ->
+  ?audit:bool ->
+  ?seed:int64 ->
+  ?cc_capacity:int ->
+  unit ->
+  poc_row list
 (** [audit] attaches the leakage audit to every run; [seed] (default [1L])
     pins the observability sink's reservoir RNG so audited runs are
-    reproducible bit-for-bit. *)
+    reproducible bit-for-bit. [cc_capacity], when given, caps the code
+    cache at that many bundles — the capacity-constrained re-check that
+    the leakage verdicts survive eviction churn. *)
 
 val e2_figure4 : ?audit:bool -> unit -> mode_cycles list
 (** One row per Figure-4 application: the 12 Polybench kernels plus the
@@ -70,6 +77,40 @@ val e7_translation_channel :
     translation-decision side channel, per mitigation mode. Every mode
     leaks — the countermeasure targets speculative loads, not the
     profile-guided translation decisions themselves. *)
+
+(** E8 (extension) — trace chaining: dispatcher exits per 1k guest
+    instructions with chaining off/on, plus a tiny-cache run checking
+    that eviction churn preserves architectural results. *)
+type chain_row = {
+  c_name : string;
+  c_guest_insns : int64;
+  c_exits_nochain : int64;
+  c_exits_chain : int64;
+  c_chain_follows : int64;
+  c_tiny_exits : int64;  (** dispatch exits with chaining + tiny cache *)
+  c_tiny_evictions : int;
+  c_cycles_equal : bool;
+      (** chaining must not change the simulated cycle count *)
+  c_arch_equal : bool;
+      (** tiny-cache run produced the same architectural result *)
+}
+
+val per_1k : int64 -> int64 -> float
+(** [per_1k exits insns] — dispatcher exits per 1k guest instructions. *)
+
+val chain_reduction : chain_row -> float
+(** Reduction factor of dispatcher exits per 1k guest instructions
+    (no-chain / chain); [infinity] when chaining removed every exit. *)
+
+val e8_tiny_capacity : int
+(** Code-cache budget (in bundles) of E8's eviction-churn configuration. *)
+
+val e8_chaining : ?mode:Gb_core.Mitigation.mode -> unit -> chain_row list
+(** One row per Polybench kernel (default mode [Unsafe], where traces are
+    longest-lived and chaining matters most). *)
+
+val chaining_json : chain_row list -> Gb_util.Json.t
+(** Machine-readable E8 results. *)
 
 val geomean_slowdown :
   mode_cycles list -> mode:Gb_core.Mitigation.mode -> float

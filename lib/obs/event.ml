@@ -10,6 +10,7 @@ type kind =
   | Cache_miss of { addr : int; write : bool }
   | Tier_transition of { tier : string }
   | Transient_line of { addr : int; set_idx : int; dependent : bool }
+  | Chain of { target : int; op : [ `Link | `Follow | `Break ] }
 
 type t = { kind : kind; pc : int; region : int; cycle : int64 }
 
@@ -25,6 +26,7 @@ let name = function
   | Cache_miss _ -> "cache_miss"
   | Tier_transition _ -> "tier_transition"
   | Transient_line _ -> "transient_line"
+  | Chain _ -> "chain"
 
 let args kind =
   let module J = Gb_util.Json in
@@ -47,6 +49,11 @@ let args kind =
       ("addr", J.Int addr); ("set", J.Int set_idx);
       ("dependent", J.Bool dependent);
     ]
+  | Chain { target; op } ->
+    let op =
+      match op with `Link -> "link" | `Follow -> "follow" | `Break -> "break"
+    in
+    [ ("target", J.Int target); ("op", J.String op) ]
 
 let to_json t =
   let module J = Gb_util.Json in

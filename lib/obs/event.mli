@@ -21,7 +21,8 @@ type kind =
   | Tier_transition of { tier : string }
       (** a region moved tiers: "block" (first-pass translation installed),
           "trace" (optimized trace installed), "despeculated",
-          "retranslate" (stale trace dropped) *)
+          "retranslate" (stale trace dropped), "evicted" (dropped by the
+          code cache under capacity pressure) *)
   | Transient_line of { addr : int; set_idx : int; dependent : bool }
       (** the leakage audit found a cache line (base address [addr], cache
           set [set_idx]) allocated by a transiently executed load that the
@@ -29,6 +30,12 @@ type kind =
           true when the load's address was derived from speculatively
           loaded data — the Spectre leak condition. pc = the load's guest
           pc. Rendered on its own Chrome-trace track. *)
+  | Chain of { target : int; op : [ `Link | `Follow | `Break ] }
+      (** trace chaining: a stub of the [region] trace was patched to
+          transfer directly into the trace at entry pc [target] ([`Link]),
+          the pipeline took such a transfer ([`Follow]), or the link was
+          severed because an endpoint was evicted or retranslated
+          ([`Break]). pc = the stub's guest target pc. *)
 
 type t = {
   kind : kind;

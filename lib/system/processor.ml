@@ -36,6 +36,10 @@ type result = {
   loads_constrained : int;
   fences_inserted : int;
   spec_loads : int;
+  dispatch_exits : int64;
+  chain_follows : int64;
+  guest_insns : int64;
+  cc_evictions : int;
   output : string;
   audit : Gb_cache.Audit.summary option;
 }
@@ -50,6 +54,13 @@ type t = {
   engine : Gb_dbt.Engine.t;
   obs : Gb_obs.Sink.t;
   audit : Gb_cache.Audit.t option;
+  dispatch_exits : int64 ref;
+      (** trace exits handled by the dispatch loop (chained transfers
+          bypass it — the quantity trace chaining exists to reduce) *)
+  chain_dead_end : bool ref;
+      (** set by the chain resolver when it recorded an exit but found
+          no translation to continue into: the dispatch loop must not
+          record that exit a second time *)
 }
 
 let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop)
@@ -72,6 +83,10 @@ let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop)
         "mitigation.fences_inserted"; "vliw.trace_runs"; "vliw.side_exits";
         "vliw.rollbacks"; "vliw.mcb_conflicts"; "cache.reads"; "cache.writes";
         "cache.read_misses"; "cache.write_misses"; "cache.flushes";
+        (* the code cache proper ("cache.*" above is the L1D) *)
+        "code_cache.hits"; "code_cache.misses"; "code_cache.evictions";
+        "code_cache.chain_links"; "code_cache.chain_follows";
+        "code_cache.chain_breaks"; "processor.dispatch_exits";
       ];
   if audit && Gb_obs.Sink.is_active obs then
     List.iter
@@ -112,12 +127,48 @@ let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop)
     Gb_riscv.Interp.create ~hooks ~clock ~regs ~mem
       ~pc:program.Gb_riscv.Asm.entry ()
   in
+  (* one knob: the engine's code-cache config decides whether chaining
+     exists at all; the machine merely follows links that were patched *)
+  let machine_cfg =
+    {
+      config.machine with
+      Gb_vliw.Machine.chain =
+        config.machine.Gb_vliw.Machine.chain
+        && config.engine.Gb_dbt.Engine.cache.Gb_dbt.Code_cache.chain;
+    }
+  in
   let machine =
-    Gb_vliw.Machine.create ~cfg:config.machine ~mem ~hier ~clock ~regs ~obs
+    Gb_vliw.Machine.create ~cfg:machine_cfg ~mem ~hier ~clock ~regs ~obs
       ?audit ()
   in
   let engine = Gb_dbt.Engine.create ~obs ?audit config.engine ~mem in
-  { cfg = config; mem; clock; hier; interp; machine; engine; obs; audit }
+  (* The chained-transfer resolver: do exactly what the dispatch loop
+     below would have done for this exit — record it (keeping rollback/
+     side-exit ratios current), tick the target's hot counter (which may
+     promote a chained-into first-pass block to a trace, or drop a stale
+     one), then hand back whatever translation is installed at the
+     target NOW. Resolving after accounting keeps chaining invisible to
+     the cost model: a transfer that promotes its own target runs the
+     new trace immediately, exactly as a dispatch would. In the rare
+     case nothing resolves (e.g. a self-looping trace just invalidated
+     itself for retranslation) the exit goes back to the dispatcher,
+     which must then skip its own recording — this callback already did
+     it. *)
+  let chain_dead_end = ref false in
+  machine.Gb_vliw.Machine.on_chain <-
+    (fun info ->
+      Gb_dbt.Engine.record_block_exit engine
+        ~entry:info.Gb_vliw.Vinsn.exit_entry info;
+      Gb_dbt.Engine.record_block_entry engine info.Gb_vliw.Vinsn.next_pc;
+      match Gb_dbt.Engine.chained_successor engine info with
+      | Some _ as next -> next
+      | None ->
+        chain_dead_end := true;
+        None);
+  {
+    cfg = config; mem; clock; hier; interp; machine; engine; obs; audit;
+    dispatch_exits = ref 0L; chain_dead_end;
+  }
 
 let mem t = t.mem
 
@@ -147,6 +198,14 @@ let result_of t exit_code =
     loads_constrained = es.Gb_dbt.Engine.loads_constrained;
     fences_inserted = es.Gb_dbt.Engine.fences_inserted;
     spec_loads = es.Gb_dbt.Engine.spec_loads;
+    dispatch_exits = !(t.dispatch_exits);
+    chain_follows = ms.Gb_vliw.Machine.chain_follows;
+    guest_insns =
+      Int64.add t.interp.Gb_riscv.Interp.insn_count
+        ms.Gb_vliw.Machine.guest_insns;
+    cc_evictions =
+      (Gb_dbt.Code_cache.stats (Gb_dbt.Engine.code_cache t.engine)).Gb_dbt
+      .Code_cache.evictions;
     output = Buffer.contents t.interp.Gb_riscv.Interp.output;
     audit = Option.map Gb_cache.Audit.publish t.audit;
   }
@@ -162,8 +221,21 @@ let run t =
     | Some trace ->
       let info = Gb_vliw.Pipeline.run t.machine trace in
       t.interp.Gb_riscv.Interp.pc <- info.Gb_vliw.Pipeline.next_pc;
-      Gb_dbt.Engine.record_block_exit engine ~entry:pc info;
-      Gb_dbt.Engine.record_block_entry engine info.Gb_vliw.Pipeline.next_pc;
+      t.dispatch_exits := Int64.add !(t.dispatch_exits) 1L;
+      Gb_obs.Sink.incr t.obs "processor.dispatch_exits";
+      (* with chaining, the final exit may come from a different trace
+         than the one dispatched; intermediate exits were already
+         recorded by the on_chain resolver — and so was this one, iff
+         the resolver hit a dead end on it *)
+      if !(t.chain_dead_end) then t.chain_dead_end := false
+      else begin
+        Gb_dbt.Engine.record_block_exit engine
+          ~entry:info.Gb_vliw.Pipeline.exit_entry info;
+        Gb_dbt.Engine.record_block_entry engine info.Gb_vliw.Pipeline.next_pc
+      end;
+      (* record_block_entry may just have translated next_pc: patch the
+         stub we exited through so the next pass transfers directly *)
+      Gb_dbt.Engine.chain engine info;
       loop ()
     | None -> (
       let si = Gb_riscv.Interp.step t.interp in

@@ -32,6 +32,16 @@ type result = {
   loads_constrained : int;
   fences_inserted : int;
   spec_loads : int;
+  dispatch_exits : int64;
+      (** trace exits handled by the dispatch loop; chained transfers
+          bypass it, so with chaining on this drops well below
+          [trace_runs] on hot loops *)
+  chain_follows : int64;  (** chained transfers the pipeline took *)
+  guest_insns : int64;
+      (** total guest instructions executed (interpreter + translated
+          code) — the denominator for dispatcher exits per 1k guest
+          instructions *)
+  cc_evictions : int;  (** code-cache capacity evictions *)
   output : string;
   audit : Gb_cache.Audit.summary option;
       (** leakage-audit classification; [None] unless created with

@@ -1,6 +1,14 @@
-type config = { n_hidden : int; mcb_entries : int; exit_penalty : int }
+type config = {
+  n_hidden : int;
+  mcb_entries : int;
+  exit_penalty : int;
+  chain : bool;
+  chain_fuel : int;
+}
 
-let default_config = { n_hidden = 96; mcb_entries = 8; exit_penalty = 4 }
+let default_config =
+  { n_hidden = 96; mcb_entries = 8; exit_penalty = 4; chain = true;
+    chain_fuel = 4096 }
 
 type stats = {
   mutable bundles : int64;
@@ -8,6 +16,8 @@ type stats = {
   mutable side_exits : int64;
   mutable rollbacks : int64;
   mutable stall_cycles : int64;
+  mutable chain_follows : int64;
+  mutable guest_insns : int64;
 }
 
 type t = {
@@ -20,6 +30,7 @@ type t = {
   stats : stats;
   obs : Gb_obs.Sink.t;
   audit : Gb_cache.Audit.t option;
+  mutable on_chain : Vinsn.exit_info -> Vinsn.trace option;
 }
 
 let create ?(cfg = default_config) ~mem ~hier ~clock ?regs
@@ -40,7 +51,8 @@ let create ?(cfg = default_config) ~mem ~hier ~clock ?regs
     mcb = Mcb.create ~obs ~entries:cfg.mcb_entries ();
     stats =
       { bundles = 0L; trace_runs = 0L; side_exits = 0L; rollbacks = 0L;
-        stall_cycles = 0L };
+        stall_cycles = 0L; chain_follows = 0L; guest_insns = 0L };
     obs;
     audit;
+    on_chain = (fun _ -> None);
   }

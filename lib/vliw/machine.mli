@@ -5,10 +5,21 @@ type config = {
   n_hidden : int;  (** hidden (speculation) registers beyond the 32 guest ones *)
   mcb_entries : int;
   exit_penalty : int;  (** pipeline refill cycles on any trace exit *)
+  chain : bool;
+      (** follow patched [stub.chain] links inside {!Pipeline.run} instead
+          of returning to the dispatcher. Following a link is only legal
+          because links are created exclusively by the code cache, which
+          enforces mitigation-mode compatibility and unlinks on eviction. *)
+  chain_fuel : int;
+      (** maximum chained transfers per {!Pipeline.run} call before
+          control is handed back to the dispatcher anyway, so the
+          processor's cycle watchdog and host-side loop stay live even
+          when a hot loop chains to itself *)
 }
 
 val default_config : config
-(** 96 hidden registers, 8 MCB entries, exit penalty 4. *)
+(** 96 hidden registers, 8 MCB entries, exit penalty 4, chaining on with
+    fuel 4096. *)
 
 type stats = {
   mutable bundles : int64;
@@ -16,6 +27,11 @@ type stats = {
   mutable side_exits : int64;
   mutable rollbacks : int64;
   mutable stall_cycles : int64;
+  mutable chain_follows : int64;
+      (** chained transfers taken without returning to the dispatcher *)
+  mutable guest_insns : int64;
+      (** guest instructions covered by executed traces (full-pass upper
+          estimate: an early side exit still counts the whole trace) *)
 }
 
 type t = {
@@ -29,6 +45,21 @@ type t = {
   obs : Gb_obs.Sink.t;
   audit : Gb_cache.Audit.t option;
       (** leakage audit fed by {!Pipeline.run}; [None] disables buffering *)
+  mutable on_chain : Vinsn.exit_info -> Vinsn.trace option;
+      (** the chained-transfer resolver, consulted by {!Pipeline.run}
+          whenever the taken stub carries a chain link. It must do
+          whatever the dispatcher would have done for this exit
+          (per-region run/side-exit/rollback accounting, hot-counter
+          tick for the target — which may promote or drop translations)
+          and then return the translation {e now} installed at
+          [next_pc], or [None] to hand the exit back to the dispatcher.
+          Resolving after accounting means a transfer that promotes its
+          own target immediately runs the new trace, exactly like a
+          dispatch — chaining stays invisible to the cost model. The
+          default resolver returns [None] (a bare machine has no code
+          cache, so it never chains); {!Gb_system.Processor} installs
+          the real one. The final (returned) exit is never reported
+          here. *)
 }
 
 val create :

@@ -1,6 +1,11 @@
-type exit_kind = Fallthrough | Side_exit | Rollback
+type exit_kind = Vinsn.exit_kind = Fallthrough | Side_exit | Rollback
 
-type exit_info = { next_pc : int; kind : exit_kind }
+type exit_info = Vinsn.exit_info = {
+  next_pc : int;
+  kind : exit_kind;
+  exit_entry : int;
+  taken_stub : int;
+}
 
 exception Machine_error of string
 
@@ -13,7 +18,7 @@ let eval regs = function
 (* Execute one pass over a trace. The mutable per-cycle state is kept in
    local refs; register writes are buffered and applied at end of cycle to
    get the parallel-read semantics right. *)
-let run (m : Machine.t) (trace : Vinsn.trace) =
+let run_one (m : Machine.t) (trace : Vinsn.trace) =
   let open Vinsn in
   if Array.length m.regs < trace.n_regs then
     error "trace needs %d registers, machine has %d" trace.n_regs
@@ -24,6 +29,8 @@ let run (m : Machine.t) (trace : Vinsn.trace) =
   in
   Mcb.clear m.mcb;
   m.stats.trace_runs <- Int64.add m.stats.trace_runs 1L;
+  m.stats.guest_insns <-
+    Int64.add m.stats.guest_insns (Int64.of_int trace.guest_insns);
   Gb_obs.Sink.incr m.obs "vliw.trace_runs";
   (match m.audit with
   | Some a -> Gb_cache.Audit.begin_run a ~region:trace.entry_pc
@@ -161,7 +168,8 @@ let run (m : Machine.t) (trace : Vinsn.trace) =
       (* how deep into the trace the run got before leaving *)
       Gb_obs.Sink.observe m.obs "vliw.exit_bundle" (float_of_int (bundle_idx + 1))
     end;
-    { next_pc = stub.target_pc; kind }
+    { next_pc = stub.target_pc; kind; exit_entry = trace.entry_pc;
+      taken_stub = stub_idx }
   in
   let n = Array.length trace.bundles in
   let rec cycle i =
@@ -187,3 +195,49 @@ let run (m : Machine.t) (trace : Vinsn.trace) =
     end
   in
   cycle 0
+
+(* Run a trace and follow chain links: when the taken stub was patched by
+   the code cache, transfer straight into the successor instead of
+   returning to the dispatcher. Chaining is free in the simulated cost
+   model — the dispatcher itself costs no cycles here — so all existing
+   cycle counts are unchanged; what it changes is *control*: the host
+   dispatch loop (and its per-exit bookkeeping) is bypassed, which is why
+   every followed link is reported through [m.on_chain].
+
+   The chain target is captured *before* the callback runs: the callback
+   (engine accounting) may decide to retranslate or despeculate the
+   exiting region, which unlinks that region's stubs — but never the
+   already-captured successor, so following [next] stays safe. Rollback
+   exits always return to the dispatcher: MCB recovery re-enters the
+   interpreter-visible path. *)
+let run (m : Machine.t) (trace : Vinsn.trace) =
+  if not m.cfg.chain then run_one m trace
+  else begin
+    let rec go fuel trace =
+      let info = run_one m trace in
+      if fuel <= 0 || info.kind = Rollback then info
+      else begin
+        let stub = trace.Vinsn.stubs.(info.taken_stub) in
+        (* a chain link is the trigger; the resolver supplies the code to
+           run, so a transfer whose accounting just replaced the target
+           (block promotion, retranslation) continues into the fresh
+           translation instead of the one captured at link time *)
+        match stub.Vinsn.chain with
+        | None -> info
+        | Some _ -> (
+          match m.on_chain info with
+          | None -> info
+          | Some next ->
+            m.stats.chain_follows <- Int64.add m.stats.chain_follows 1L;
+            if Gb_obs.Sink.is_active m.obs then begin
+              Gb_obs.Sink.incr m.obs "code_cache.chain_follows";
+              Gb_obs.Sink.event m.obs ~pc:info.next_pc
+                ~region:info.exit_entry
+                (Gb_obs.Event.Chain
+                   { target = next.Vinsn.entry_pc; op = `Follow })
+            end;
+            go (fuel - 1) next)
+      end
+    in
+    go m.cfg.chain_fuel trace
+  end

@@ -17,9 +17,17 @@
     exactly the micro-architectural side effect Spectre exploits. Stores
     are always architectural and propagate {!Gb_riscv.Mem.Fault}. *)
 
-type exit_kind = Fallthrough | Side_exit | Rollback
+type exit_kind = Vinsn.exit_kind = Fallthrough | Side_exit | Rollback
 
-type exit_info = { next_pc : int; kind : exit_kind }
+type exit_info = Vinsn.exit_info = {
+  next_pc : int;
+  kind : exit_kind;
+  exit_entry : int;
+  taken_stub : int;
+}
+(** Re-exported from {!Vinsn} (defined there so {!Machine} can carry the
+    chain callback without a dependency cycle); existing call sites using
+    [Pipeline.Side_exit] / [info.next_pc] are unaffected. *)
 
 exception Machine_error of string
 (** Ill-formed trace detected at run time (two control operations in a
@@ -27,4 +35,21 @@ exception Machine_error of string
     bug, never a guest error. *)
 
 val run : Machine.t -> Vinsn.trace -> exit_info
-(** Execute one pass over the trace, advancing the machine clock. *)
+(** Execute the trace, advancing the machine clock, and — when
+    [m.cfg.chain] is set — keep going: if the taken exit stub carries a
+    chain link patched by the code cache, consult the [m.on_chain]
+    resolver (which does the dispatcher's accounting for the
+    intermediate {!exit_info}) and transfer directly into whatever
+    translation it returns, for up to [m.cfg.chain_fuel] transfers. The
+    returned {!exit_info} describes only the final, unchained exit.
+    Rollback exits are never chained. Chained transfers cost no
+    simulated cycles — the dispatcher is free in the cost model — so
+    cycle counts are identical with chaining on or off.
+
+    Each chained trace pass is a full architectural commit: the stub's
+    compensation moves run and the leakage audit sees a complete
+    [begin_run]/[end_run] window per pass, so commit-boundary/exit-id
+    logic is unaffected by chaining. *)
+
+val run_one : Machine.t -> Vinsn.trace -> exit_info
+(** Execute exactly one pass over the trace, ignoring chain links. *)

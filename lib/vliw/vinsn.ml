@@ -41,8 +41,6 @@ type op =
 
 type bundle = op array
 
-type stub = { commits : (reg * operand) list; target_pc : int; exit_id : int }
-
 type meta = {
   spec_loads : int;
   branch_spec_loads : int;
@@ -60,7 +58,16 @@ let empty_meta =
     fences_inserted = 0;
   }
 
-type trace = {
+(* stub and trace are mutually recursive: a patched stub transfers
+   directly into the successor trace (trace chaining) *)
+type stub = {
+  commits : (reg * operand) list;
+  target_pc : int;
+  exit_id : int;
+  mutable chain : trace option;
+}
+
+and trace = {
   entry_pc : int;
   bundles : bundle array;
   stubs : stub array;
@@ -68,6 +75,17 @@ type trace = {
   guest_insns : int;
   meta : meta;
 }
+
+type exit_kind = Fallthrough | Side_exit | Rollback
+
+type exit_info = {
+  next_pc : int;
+  kind : exit_kind;
+  exit_entry : int;
+  taken_stub : int;
+}
+
+let bundle_count trace = Array.length trace.bundles
 
 let pp_reg ppf r =
   if r < guest_regs then Format.fprintf ppf "%s" (Gb_riscv.Reg.name r)
@@ -123,7 +141,8 @@ let pp_trace ppf trace =
     trace.bundles;
   Array.iteri
     (fun i stub ->
-      Format.fprintf ppf "  stub%d -> 0x%x:" i stub.target_pc;
+      Format.fprintf ppf "  stub%d -> 0x%x%s:" i stub.target_pc
+        (match stub.chain with Some _ -> " [chained]" | None -> "");
       List.iter
         (fun (r, src) ->
           Format.fprintf ppf " %a<-%a" pp_reg r pp_operand src)

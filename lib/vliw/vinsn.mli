@@ -59,16 +59,6 @@ type op =
 
 type bundle = op array
 
-type stub = {
-  commits : (reg * operand) list;
-      (** guest register <- operand, applied in order *)
-  target_pc : int;  (** guest pc to resume at *)
-  exit_id : int;
-      (** DFG node id of the exit this stub belongs to: memory ops with a
-          smaller id are architecturally committed when this exit is
-          taken, larger ids executed transiently (leakage audit) *)
-}
-
 (** Per-translation countermeasure / speculation statistics, surfaced by the
     benchmark harness (experiment E3). *)
 type meta = {
@@ -81,7 +71,24 @@ type meta = {
 
 val empty_meta : meta
 
-type trace = {
+type stub = {
+  commits : (reg * operand) list;
+      (** guest register <- operand, applied in order *)
+  target_pc : int;  (** guest pc to resume at *)
+  exit_id : int;
+      (** DFG node id of the exit this stub belongs to: memory ops with a
+          smaller id are architecturally committed when this exit is
+          taken, larger ids executed transiently (leakage audit) *)
+  mutable chain : trace option;
+      (** trace chaining: when patched (by the code cache, which alone
+          knows mitigation-mode compatibility and eviction state), the
+          pipeline transfers directly into this successor trace instead of
+          returning to the dispatcher. Must only ever point at a
+          currently-installed translation — the code cache unlinks it when
+          either endpoint is evicted or retranslated. *)
+}
+
+and trace = {
   entry_pc : int;
   bundles : bundle array;
   stubs : stub array;
@@ -89,6 +96,23 @@ type trace = {
   guest_insns : int;  (** guest instructions covered by one pass *)
   meta : meta;
 }
+
+(** How a pipeline pass over a trace ended. Defined here (not in
+    {!Pipeline}, which re-exports it) so {!Machine} can carry the
+    chain-transfer callback without a dependency cycle. *)
+type exit_kind = Fallthrough | Side_exit | Rollback
+
+type exit_info = {
+  next_pc : int;  (** guest pc to resume at *)
+  kind : exit_kind;
+  exit_entry : int;
+      (** entry pc of the trace whose stub produced this exit — differs
+          from the dispatched pc once chained transfers are followed *)
+  taken_stub : int;  (** index of the taken stub in [exit_entry]'s trace *)
+}
+
+val bundle_count : trace -> int
+(** Number of VLIW bundles — the code-cache capacity unit. *)
 
 val pp_op : Format.formatter -> op -> unit
 

@@ -29,7 +29,7 @@ let straight_line () =
   (* h0 = 5; h1 = h0 + 7; exit committing a0 <- h1 *)
   let t =
     trace
-      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 1)) ]; target_pc = 0x2000; exit_id = max_int } ]
+      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 1)) ]; target_pc = 0x2000; exit_id = max_int; chain = None } ]
       [
         [ Alu { op = add; dst = h 0; a = I 5L; b = I 0L } ];
         [ Alu { op = add; dst = h 1; a = R (h 0); b = I 7L } ];
@@ -48,7 +48,7 @@ let parallel_semantics () =
      h1 must read the pre-bundle h0. *)
   let t =
     trace
-      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 1)) ]; target_pc = 0; exit_id = max_int } ]
+      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 1)) ]; target_pc = 0; exit_id = max_int; chain = None } ]
       [
         [ Alu { op = add; dst = h 0; a = I 1L; b = I 0L } ];
         [
@@ -68,8 +68,8 @@ let side_exit_commits () =
     trace
       ~stubs:
         [
-          { commits = [ (Gb_riscv.Reg.a0, I 1L) ]; target_pc = 0xAAAA; exit_id = max_int };
-          { commits = [ (Gb_riscv.Reg.a0, I 2L) ]; target_pc = 0xBBBB; exit_id = max_int };
+          { commits = [ (Gb_riscv.Reg.a0, I 1L) ]; target_pc = 0xAAAA; exit_id = max_int; chain = None };
+          { commits = [ (Gb_riscv.Reg.a0, I 2L) ]; target_pc = 0xBBBB; exit_id = max_int; chain = None };
         ]
       [
         [ Alu { op = add; dst = h 0; a = I 3L; b = I 4L } ];
@@ -91,8 +91,8 @@ let mcb_rollback () =
     trace
       ~stubs:
         [
-          { commits = []; target_pc = 0xD00D; exit_id = max_int } (* rollback stub *);
-          { commits = [ (Gb_riscv.Reg.a0, R (h 0)) ]; target_pc = 0xFFFF; exit_id = max_int };
+          { commits = []; target_pc = 0xD00D; exit_id = max_int; chain = None } (* rollback stub *);
+          { commits = [ (Gb_riscv.Reg.a0, R (h 0)) ]; target_pc = 0xFFFF; exit_id = max_int; chain = None };
         ]
       [
         [
@@ -127,8 +127,8 @@ let mcb_partial_overlap () =
     trace
       ~stubs:
         [
-          { commits = []; target_pc = 1; exit_id = max_int };
-          { commits = []; target_pc = 2; exit_id = max_int };
+          { commits = []; target_pc = 1; exit_id = max_int; chain = None };
+          { commits = []; target_pc = 2; exit_id = max_int; chain = None };
         ]
       [
         [
@@ -149,7 +149,7 @@ let speculative_fault_deferred () =
   (* A speculative load far out of memory returns 0 and does not raise. *)
   let t =
     trace
-      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 0)) ]; target_pc = 0; exit_id = max_int } ]
+      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 0)) ]; target_pc = 0; exit_id = max_int; chain = None } ]
       [
         [
           Load
@@ -168,7 +168,7 @@ let miss_stalls_pipeline () =
   (* Same trace run twice: first run misses (cold cache), second hits. *)
   let t =
     trace
-      ~stubs:[ { commits = []; target_pc = 0; exit_id = max_int } ]
+      ~stubs:[ { commits = []; target_pc = 0; exit_id = max_int; chain = None } ]
       [
         [
           Load
@@ -193,7 +193,7 @@ let miss_stalls_pipeline () =
 let cflush_forces_miss () =
   let t_load =
     trace
-      ~stubs:[ { commits = []; target_pc = 0; exit_id = max_int } ]
+      ~stubs:[ { commits = []; target_pc = 0; exit_id = max_int; chain = None } ]
       [
         [
           Load
@@ -217,7 +217,7 @@ let cflush_forces_miss () =
 let duplicate_write_rejected () =
   let t =
     trace
-      ~stubs:[ { commits = []; target_pc = 0; exit_id = max_int } ]
+      ~stubs:[ { commits = []; target_pc = 0; exit_id = max_int; chain = None } ]
       [
         [
           Alu { op = add; dst = h 0; a = I 1L; b = I 0L };
@@ -237,7 +237,7 @@ let rdcycle_observes_stalls () =
   let t =
     trace
       ~stubs:
-        [ { commits = [ (Gb_riscv.Reg.a0, R (h 2)) ]; target_pc = 0; exit_id = max_int } ]
+        [ { commits = [ (Gb_riscv.Reg.a0, R (h 2)) ]; target_pc = 0; exit_id = max_int; chain = None } ]
       [
         [ Rdcycle { dst = h 0 } ];
         [
@@ -276,6 +276,7 @@ let subword_memory_ops () =
               ];
             target_pc = 0;
             exit_id = max_int;
+            chain = None;
           };
         ]
       [
