@@ -5,6 +5,7 @@
      ghostbusters attack v1 --mode unsafe    run a Spectre PoC
      ghostbusters trace gemm --mode unsafe   dump the hot translated trace
      ghostbusters explain v1|v4              poisoning analysis of Figs 1-2
+     ghostbusters scan v1                    static gadget scan of a binary
      ghostbusters figure4                    the E2 table *)
 
 open Cmdliner
@@ -67,8 +68,31 @@ let print_result (r : Gb_system.Processor.result) =
   Printf.printf "patterns         %d\n" r.Gb_system.Processor.patterns_found;
   Printf.printf "constrained      %d\n" r.Gb_system.Processor.loads_constrained;
   Printf.printf "fences           %d\n" r.Gb_system.Processor.fences_inserted;
+  if r.Gb_system.Processor.verify_checked > 0 then
+    Printf.printf "verifier         %d checked, %d violation(s), %d fenced\n"
+      r.Gb_system.Processor.verify_checked
+      r.Gb_system.Processor.verify_violations
+      r.Gb_system.Processor.verify_rejections;
   if r.Gb_system.Processor.output <> "" then
     Printf.printf "output           %S\n" r.Gb_system.Processor.output
+
+let print_verify_log = function
+  | [] -> ()
+  | log ->
+    Printf.printf "\nVerifier violations:\n";
+    List.iter
+      (fun (entry, v) ->
+        Printf.printf "  region 0x%x: %-16s pc 0x%x  op %d  bundle %d%s\n"
+          entry
+          (Gb_verify.Verifier.kind_name v.Gb_verify.Verifier.v_kind)
+          v.Gb_verify.Verifier.v_pc v.Gb_verify.Verifier.v_id
+          v.Gb_verify.Verifier.v_bundle
+          (match v.Gb_verify.Verifier.v_origins with
+          | [] -> ""
+          | os ->
+            "  from "
+            ^ String.concat ", " (List.map (Printf.sprintf "0x%x") os)))
+      log
 
 (* design-space knobs shared by run/attack *)
 let width_arg =
@@ -103,7 +127,18 @@ let no_chain_flag =
            ~doc:"Disable trace chaining: every trace exit returns to the \
                  dispatcher (the pre-chaining behaviour).")
 
-let build_config mode width mcb hot unroll cache_kib cc_capacity no_chain =
+let verify_flag =
+  Arg.(value & flag
+       & info [ "verify-translations" ]
+           ~doc:"Verify every translation after scheduling: a taint \
+                 dataflow over the emitted VLIW bundles re-derives which \
+                 loads execute speculatively and flags memory accesses \
+                 with tainted addresses. A violating translation is kept \
+                 out of the code cache and retranslated with speculation \
+                 fenced; violations are printed after the run.")
+
+let build_config mode width mcb hot unroll cache_kib cc_capacity no_chain
+    verify =
   let config = Gb_system.Processor.config_for mode in
   let engine = config.Gb_system.Processor.engine in
   let resources =
@@ -141,7 +176,10 @@ let build_config mode width mcb hot unroll cache_kib cc_capacity no_chain =
     { engine with
       Gb_dbt.Engine.resources; opt_override; trace_cfg; cache;
       hot_threshold =
-        Option.value ~default:engine.Gb_dbt.Engine.hot_threshold hot }
+        Option.value ~default:engine.Gb_dbt.Engine.hot_threshold hot;
+      verify =
+        (if verify then Gb_dbt.Engine.Verify_enforce
+         else Gb_dbt.Engine.Verify_off) }
   in
   let hier =
     match cache_kib with
@@ -157,6 +195,26 @@ let find_workload name =
   match Gb_workloads.Polybench.by_name name with
   | Some w -> Ok w
   | None -> Error (`Msg (Printf.sprintf "unknown workload %S; try 'list'" name))
+
+(* A guest binary by name: an attack variant or a workload (used by the
+   commands that operate on the binary itself, not on a run). *)
+let find_program name =
+  match name with
+  | "v1" ->
+    Ok
+      (Gb_kernelc.Compile.assemble
+         (Gb_attack.Spectre_v1.program
+            ~secret:Gb_experiments.Experiments.default_secret ()))
+  | "v4" ->
+    Ok
+      (Gb_kernelc.Compile.assemble
+         (Gb_attack.Spectre_v4.program
+            ~secret:Gb_experiments.Experiments.default_secret ()))
+  | name ->
+    Result.map
+      (fun (w : Gb_workloads.Polybench.t) ->
+        Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program)
+      (find_workload name)
 
 (* --- observability flags shared by run/attack --------------------------- *)
 
@@ -325,7 +383,7 @@ let run_json_flag =
 
 let run_cmd =
   let run name mode report json width mcb hot unroll cache_kib cc_capacity
-      no_chain trace_out metrics_out profile audit seed =
+      no_chain verify trace_out metrics_out profile audit seed =
     match
       Result.bind (find_workload name) (fun w ->
           Result.map (fun () -> w) (check_outputs trace_out metrics_out))
@@ -337,7 +395,7 @@ let run_cmd =
         Gb_system.Processor.create
           ~config:
             (build_config mode width mcb hot unroll cache_kib cc_capacity
-               no_chain)
+               no_chain verify)
           ~obs ~audit
           (Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program)
       in
@@ -356,6 +414,9 @@ let run_cmd =
         print_result r
       end;
       print_audit r.Gb_system.Processor.audit;
+      if verify then
+        print_verify_log
+          (Gb_dbt.Engine.verify_log (Gb_system.Processor.engine proc));
       emit_observability obs ~trace_out ~metrics_out ~profile;
       Ok ()
   in
@@ -365,8 +426,8 @@ let run_cmd =
       term_result
         (const run $ workload_arg $ mode_arg $ report_flag $ run_json_flag
         $ width_arg $ mcb_arg $ hot_arg $ unroll_arg $ cache_kib_arg
-        $ cc_capacity_arg $ no_chain_flag $ trace_out_arg $ metrics_out_arg
-        $ profile_flag $ audit_flag $ seed_arg))
+        $ cc_capacity_arg $ no_chain_flag $ verify_flag $ trace_out_arg
+        $ metrics_out_arg $ profile_flag $ audit_flag $ seed_arg))
 
 (* --- attack ------------------------------------------------------------- *)
 
@@ -378,7 +439,7 @@ let variant_arg =
 
 let attack_cmd =
   let run variant mode secret width mcb hot unroll cache_kib cc_capacity
-      no_chain trace_out metrics_out profile audit seed =
+      no_chain verify trace_out metrics_out profile audit seed =
     match check_outputs trace_out metrics_out with
     | Error e -> Error e
     | Ok () ->
@@ -389,6 +450,7 @@ let attack_cmd =
       in
       let config =
         build_config mode width mcb hot unroll cache_kib cc_capacity no_chain
+          verify
       in
       let obs = sink_of_flags ~seed trace_out metrics_out profile audit in
       let o =
@@ -397,6 +459,7 @@ let attack_cmd =
       Printf.printf "%s\n" (Format.asprintf "%a" Gb_attack.Runner.pp_outcome o);
       print_result o.Gb_attack.Runner.result;
       print_audit o.Gb_attack.Runner.result.Gb_system.Processor.audit;
+      if verify then print_verify_log o.Gb_attack.Runner.verify_log;
       emit_observability obs ~trace_out ~metrics_out ~profile;
       Ok ()
   in
@@ -406,13 +469,22 @@ let attack_cmd =
       term_result
         (const run $ variant_arg $ mode_arg $ secret_arg $ width_arg $ mcb_arg
         $ hot_arg $ unroll_arg $ cache_kib_arg $ cc_capacity_arg
-        $ no_chain_flag $ trace_out_arg $ metrics_out_arg $ profile_flag
-        $ audit_flag $ seed_arg))
+        $ no_chain_flag $ verify_flag $ trace_out_arg $ metrics_out_arg
+        $ profile_flag $ audit_flag $ seed_arg))
 
 (* --- trace -------------------------------------------------------------- *)
 
+let trace_dot_flag =
+  Arg.(
+    value & flag
+    & info [ "dot" ]
+        ~doc:
+          "Instead of the VLIW schedules, emit a Graphviz rendering of each \
+           hot trace's data-flow graph with the poisoning analysis overlaid \
+           (poisoned nodes and detected Spectre patterns highlighted).")
+
 let trace_cmd =
-  let run name mode =
+  let run name mode dot =
     match find_workload name with
     | Error e -> Error e
     | Ok w ->
@@ -426,28 +498,64 @@ let trace_cmd =
       in
       let _ = Gb_system.Processor.run proc in
       let engine = Gb_system.Processor.engine proc in
-      let found = ref 0 in
-      (* dump every translated trace, hottest first is not tracked; dump in
-         address order *)
-      let rec scan pc limit =
-        if pc < limit then begin
-          (match Gb_dbt.Engine.lookup engine pc with
-          | Some trace ->
-            incr found;
-            Format.printf "%a@." Gb_vliw.Vinsn.pp_trace trace
-          | None -> ());
-          scan (pc + 4) limit
-        end
-      in
-      scan program.Gb_riscv.Asm.base
-        (program.Gb_riscv.Asm.base + Bytes.length program.Gb_riscv.Asm.image);
-      Printf.printf "%d translated trace(s)\n" !found;
+      if dot then begin
+        (* Rebuild each hot trace at IR level from the recorded branch
+           profile (the same inputs the engine translated from) and render
+           the DFG the poisoning analysis saw, annotations included. *)
+        let traces =
+          List.filter
+            (fun r -> r.Gb_dbt.Engine.r_tier = `Trace)
+            (Gb_dbt.Engine.regions engine)
+        in
+        List.iter
+          (fun r ->
+            let entry = r.Gb_dbt.Engine.r_entry in
+            let gtrace =
+              Gb_dbt.Trace_builder.build
+                (Gb_dbt.Engine.config engine).Gb_dbt.Engine.trace_cfg
+                ~mem:(Gb_system.Processor.mem proc)
+                ~profile:(Gb_dbt.Engine.branch_profile engine)
+                ~entry
+            in
+            let g =
+              Gb_ir.Build.build ~opt:Gb_ir.Opt_config.aggressive
+                ~lat:Gb_ir.Latency.default gtrace
+            in
+            let { Gb_core.Poison.poisoned; patterns } =
+              Gb_core.Poison.analyze g
+            in
+            Printf.printf "// trace at 0x%x (%d runs)\n" entry
+              r.Gb_dbt.Engine.r_runs;
+            print_string (Gb_ir.Dot.to_string ~poisoned ~patterns g))
+          traces;
+        Printf.printf "// %d hot trace(s)\n" (List.length traces)
+      end
+      else begin
+        let found = ref 0 in
+        (* dump every translated trace, hottest first is not tracked; dump
+           in address order *)
+        let rec scan pc limit =
+          if pc < limit then begin
+            (match Gb_dbt.Engine.lookup engine pc with
+            | Some trace ->
+              incr found;
+              Format.printf "%a@." Gb_vliw.Vinsn.pp_trace trace
+            | None -> ());
+            scan (pc + 4) limit
+          end
+        in
+        scan program.Gb_riscv.Asm.base
+          (program.Gb_riscv.Asm.base + Bytes.length program.Gb_riscv.Asm.image);
+        Printf.printf "%d translated trace(s)\n" !found
+      end;
       Ok ()
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Run a workload and dump its translated VLIW traces")
-    Term.(term_result (const run $ workload_arg $ mode_arg))
+       ~doc:
+         "Run a workload and dump its translated VLIW traces (or, with \
+          $(b,--dot), the poisoned data-flow graphs behind them)")
+    Term.(term_result (const run $ workload_arg $ mode_arg $ trace_dot_flag))
 
 (* --- explain ------------------------------------------------------------ *)
 
@@ -520,39 +628,53 @@ let explain_cmd =
 
 let disasm_cmd =
   let run name =
-    let program =
-      match name with
-      | "v1" ->
-        Some
-          (Gb_kernelc.Compile.assemble
-             (Gb_attack.Spectre_v1.program
-                ~secret:Gb_experiments.Experiments.default_secret ()))
-      | "v4" ->
-        Some
-          (Gb_kernelc.Compile.assemble
-             (Gb_attack.Spectre_v4.program
-                ~secret:Gb_experiments.Experiments.default_secret ()))
-      | name ->
-        Option.map
-          (fun (w : Gb_workloads.Polybench.t) ->
-            Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program)
-          (Gb_workloads.Polybench.by_name name)
-    in
-    match program with
-    | None -> Error (`Msg (Printf.sprintf "unknown program %S; try 'list'" name))
-    | Some program ->
-      print_string (Gb_riscv.Disasm.dump program);
-      Ok ()
+    Result.map (fun program -> print_string (Gb_riscv.Disasm.dump program))
+      (find_program name)
   in
   Cmd.v
     (Cmd.info "disasm"
        ~doc:"Disassemble a workload's or attack's guest binary")
     Term.(term_result (const run $ workload_arg))
 
-(* --- figure4 ------------------------------------------------------------ *)
+(* --- scan --------------------------------------------------------------- *)
 
 let json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let scan_window_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "window" ] ~docv:"N"
+        ~doc:
+          "Speculation window in guest instructions: how far past a gadget \
+           root (branch or store) the scanner follows dataflow (default \
+           64).")
+
+let scan_cmd =
+  let run name json window =
+    Result.map
+      (fun program ->
+        let r = Gb_verify.Scanner.scan ?window program in
+        if json then
+          print_endline
+            (Gb_util.Json.to_string_pretty
+               (Gb_verify.Scanner.report_to_json r))
+        else Format.printf "%a@." Gb_verify.Scanner.pp_report r)
+      (find_program name)
+  in
+  Cmd.v
+    (Cmd.info "scan"
+       ~doc:
+         "Statically scan a guest binary for Spectre gadget candidates \
+          (Teapot-style lint): v1 branch/bounded-load/dependent-access \
+          chains and v4 store/aliasing-load/dependent-access chains, found \
+          by abstract dataflow over the decoded instructions — no \
+          execution.")
+    Term.(
+      term_result (const run $ workload_arg $ json_flag $ scan_window_arg))
+
+(* --- figure4 ------------------------------------------------------------ *)
 
 let figure4_cmd =
   let run json =
@@ -595,4 +717,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; attack_cmd; trace_cmd; explain_cmd; disasm_cmd;
-            figure4_cmd ]))
+            scan_cmd; figure4_cmd ]))

@@ -4,6 +4,7 @@ type outcome = {
   total_bytes : int;
   accuracy : float;
   result : Gb_system.Processor.result;
+  verify_log : (int * Gb_verify.Verifier.violation) list;
 }
 
 let run ?config ?obs ?(audit = false) ?(seed = 1L) ~mode ~secret program =
@@ -38,6 +39,7 @@ let run ?config ?obs ?(audit = false) ?(seed = 1L) ~mode ~secret program =
     total_bytes = len;
     accuracy = float_of_int correct /. float_of_int len;
     result;
+    verify_log = Gb_dbt.Engine.verify_log (Gb_system.Processor.engine proc);
   }
 
 let succeeded o = o.correct_bytes = o.total_bytes

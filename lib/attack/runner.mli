@@ -7,6 +7,9 @@ type outcome = {
   total_bytes : int;
   accuracy : float;  (** correct / total *)
   result : Gb_system.Processor.result;
+  verify_log : (int * Gb_verify.Verifier.violation) list;
+      (** per-region install-time verifier violations (empty unless the
+          config enables {!Gb_dbt.Engine.type-verify_level} checking) *)
 }
 
 val run :

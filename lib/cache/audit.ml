@@ -123,6 +123,16 @@ let end_run t ~exit_id =
       | Baccess _ | Bflush _ -> ())
     transient
 
+let flagged_pc_list t =
+  Hashtbl.fold (fun pc () acc -> pc :: acc) t.flagged_pcs []
+  |> List.sort compare
+
+let dependent_pcs t =
+  Hashtbl.fold
+    (fun pc st acc -> if st.dependent > 0 then pc :: acc else acc)
+    t.transient_by_pc []
+  |> List.sort compare
+
 type summary = {
   spec_loads : int;
   flagged : int;

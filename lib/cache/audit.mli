@@ -84,6 +84,17 @@ val note_flagged : t -> pc:int -> unit
 val note_constrained : t -> pc:int -> unit
 (** The mitigation actually constrained the load at [pc]. *)
 
+val flagged_pc_list : t -> int list
+(** Distinct pcs noted via {!note_flagged}, sorted — the detector's
+    positives, used as ground truth when scoring the static gadget
+    scanner. *)
+
+val dependent_pcs : t -> int list
+(** Distinct pcs that left at least one {e dependent} transient line
+    (address derived from speculatively loaded data), sorted — the
+    runtime evidence the static translation verifier must cover
+    (its false-negative check). *)
+
 (** {2 Results} *)
 
 type summary = {

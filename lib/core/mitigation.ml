@@ -119,5 +119,7 @@ let apply ?(obs = Gb_obs.Sink.noop) mode ~lat g =
       loads_constrained = !constrained;
       fences_inserted = !fences;
       rounds = !rounds;
-      flagged_pcs = List.rev !flagged_pcs;
+      (* a load can be re-flagged in a later fixpoint round (and distinct
+         nodes can share a guest pc after unrolling): report each pc once *)
+      flagged_pcs = List.sort_uniq compare !flagged_pcs;
     }

@@ -27,8 +27,10 @@ type report = {
   fences_inserted : int;
   rounds : int;  (** analyze/constrain iterations until fixpoint *)
   flagged_pcs : int list;
-      (** guest pcs of the flagged loads, in flagging order (consumed by
-          the leakage audit to score the detector) *)
+      (** distinct guest pcs of the flagged loads, sorted — a pc
+          re-flagged across fixpoint rounds (or shared by unrolled nodes)
+          appears once (consumed by the leakage audit and the gadget
+          scanner's scoring) *)
 }
 
 val empty_report : report

@@ -1,3 +1,5 @@
+type verify_level = Verify_off | Verify_report | Verify_enforce
+
 type config = {
   adaptive_retranslate : bool;
   adaptive_despec : bool;
@@ -10,6 +12,7 @@ type config = {
   trace_cfg : Trace_builder.config;
   n_hidden : int;
   cache : Code_cache.config;
+  verify : verify_level;
 }
 
 let default_config =
@@ -25,6 +28,7 @@ let default_config =
     trace_cfg = Trace_builder.default_config;
     n_hidden = 96;
     cache = Code_cache.default_config;
+    verify = Verify_off;
   }
 
 type stats = {
@@ -39,6 +43,9 @@ type stats = {
   mutable fences_inserted : int;
   mutable spec_loads : int;
   mutable branch_spec_loads : int;
+  mutable verify_checked : int;
+  mutable verify_violations : int;
+  mutable verify_rejections : int;
 }
 
 type t = {
@@ -61,6 +68,8 @@ type t = {
   stats : stats;
   obs : Gb_obs.Sink.t;
   audit : Gb_cache.Audit.t option;
+  mutable verify_log : (int * Gb_verify.Verifier.violation) list;
+      (** (region entry, violation), reverse chronological *)
 }
 
 let create ?(obs = Gb_obs.Sink.noop) ?audit cfg ~mem =
@@ -92,9 +101,13 @@ let create ?(obs = Gb_obs.Sink.noop) ?audit cfg ~mem =
         fences_inserted = 0;
         spec_loads = 0;
         branch_spec_loads = 0;
+        verify_checked = 0;
+        verify_violations = 0;
+        verify_rejections = 0;
       };
     obs;
     audit;
+    verify_log = [];
   }
   in
   (* The bugfix half of the eviction contract: a capacity-evicted region
@@ -228,6 +241,45 @@ let record_block_exit t ~entry info =
     | Gb_vliw.Pipeline.Rollback -> ())
   | Some None | None -> ()
 
+(* Run the post-scheduling verifier over a translation about to be
+   installed, record its findings (counters, events, the per-entry log)
+   and return the report. Called for both tiers whenever verification is
+   enabled; the caller decides what a violation means (report vs
+   reject). *)
+let note_verify t ~entry trace =
+  let vr = Gb_obs.Sink.time t.obs "verify" (fun () ->
+      Gb_verify.Verifier.verify trace)
+  in
+  t.stats.verify_checked <- t.stats.verify_checked + 1;
+  let vs = vr.Gb_verify.Verifier.violations in
+  if vs <> [] then begin
+    t.stats.verify_violations <- t.stats.verify_violations + List.length vs;
+    t.verify_log <-
+      List.rev_append (List.map (fun v -> (entry, v)) vs) t.verify_log
+  end;
+  if Gb_obs.Sink.is_active t.obs then begin
+    Gb_obs.Sink.incr t.obs "verify.checked";
+    if vs <> [] then
+      Gb_obs.Sink.incr t.obs ~by:(List.length vs) "verify.violations";
+    List.iter
+      (fun v ->
+        Gb_obs.Sink.event t.obs ~pc:v.Gb_verify.Verifier.v_pc ~region:entry
+          (Gb_obs.Event.Verify_violation
+             {
+               kind = Gb_verify.Verifier.kind_name v.Gb_verify.Verifier.v_kind;
+               bundle = v.Gb_verify.Verifier.v_bundle;
+             }))
+      vs
+  end;
+  vr
+
+let verify_log t = List.rev t.verify_log
+
+(* a fenced retranslation that still fails verification (which would take
+   a code-generator bug) aborts the translation; the entry is blacklisted
+   and stays on the interpreter *)
+exception Verify_rejected
+
 let translate_first_pass t entry =
   if Code_cache.peek t.cc entry <> None || Hashtbl.mem t.fp_blacklist entry
   then ()
@@ -236,7 +288,17 @@ let translate_first_pass t entry =
       Gb_obs.Sink.time t.obs "first_pass" (fun () ->
           First_pass.translate ~mem:t.mem ~entry)
     with
+    | { First_pass.trace; branch_pc }
+      when t.cfg.verify = Verify_enforce
+           && not (Gb_verify.Verifier.ok (note_verify t ~entry trace)) ->
+      (* structurally unreachable — first-pass blocks execute one op per
+         bundle in program order — but the gate must not trust that *)
+      ignore branch_pc;
+      t.stats.verify_rejections <- t.stats.verify_rejections + 1;
+      Gb_obs.Sink.incr t.obs "verify.rejections";
+      Hashtbl.replace t.fp_blacklist entry ()
     | { First_pass.trace; branch_pc } ->
+      if t.cfg.verify = Verify_report then ignore (note_verify t ~entry trace);
       ignore
         (Code_cache.insert t.cc ~pc:entry ~tier:Code_cache.Block
            ~mode:Code_cache.Nonspec trace);
@@ -349,30 +411,63 @@ let translate t entry =
                     (Gb_obs.Event.Poison_flagged { node = id }))
                 (Gb_core.Poison.analyze g).Gb_core.Poison.patterns
           | None -> ());
-          let cycles =
-            Gb_obs.Sink.time obs "schedule" (fun () ->
-                Sched.schedule ~obs t.cfg.resources ~lat:t.cfg.lat g)
-          in
-          let meta = graph_meta g report in
-          let trace =
+          let lower g report =
+            let cycles =
+              Gb_obs.Sink.time obs "schedule" (fun () ->
+                  Sched.schedule ~obs t.cfg.resources ~lat:t.cfg.lat g)
+            in
+            let meta = graph_meta g report in
             Gb_obs.Sink.time obs "codegen" (fun () ->
                 Codegen.emit t.cfg.resources ~n_hidden:t.cfg.n_hidden ~cycles
                   ~entry_pc:entry
                   ~guest_insns:(Gb_ir.Gtrace.length gtrace)
                   ~meta g)
           in
-          Some (trace, report, Gb_ir.Gtrace.length gtrace, branch_pcs)
+          let trace = lower g report in
+          (* Install-time gate: the post-scheduling verifier re-derives
+             the speculation-safety property from the emitted bundles.
+             Under [Verify_enforce] a violating translation never reaches
+             the code cache — it is rebuilt with speculation fenced
+             entirely (and must then verify clean, or the entry is
+             blacklisted). *)
+          let trace, report, fenced =
+            match t.cfg.verify with
+            | Verify_off -> (trace, report, false)
+            | (Verify_report | Verify_enforce) as lvl ->
+              let vr = note_verify t ~entry trace in
+              if Gb_verify.Verifier.ok vr || lvl = Verify_report then
+                (trace, report, false)
+              else begin
+                t.stats.verify_rejections <- t.stats.verify_rejections + 1;
+                Gb_obs.Sink.incr obs "verify.rejections";
+                Gb_obs.Sink.event obs ~pc:entry ~region:entry
+                  (Gb_obs.Event.Tier_transition { tier = "verify-fenced" });
+                let g =
+                  Gb_obs.Sink.time obs "ir_build" (fun () ->
+                      Gb_ir.Build.build ~opt:Gb_ir.Opt_config.no_speculation
+                        ~lat:t.cfg.lat gtrace)
+                in
+                let report =
+                  Gb_core.Mitigation.apply ~obs t.cfg.mode ~lat:t.cfg.lat g
+                in
+                let trace = lower g report in
+                if not (Gb_verify.Verifier.ok (note_verify t ~entry trace))
+                then raise Verify_rejected;
+                (trace, report, true)
+              end
+          in
+          Some (trace, report, Gb_ir.Gtrace.length gtrace, branch_pcs, fenced)
         with
         | Trace_builder.Build_failure _ | Gb_ir.Build.Unsupported _
-        | Codegen.Out_of_registers | Sched.Cyclic ->
+        | Codegen.Out_of_registers | Sched.Cyclic | Verify_rejected ->
           None
       in
       match result with
-      | Some (trace, report, len, branch_pcs) ->
+      | Some (trace, report, len, branch_pcs, fenced) ->
         (* de-speculated regions carry no speculative loads at all, so
            they are a safe chain target from any predecessor *)
         let mode =
-          if Hashtbl.mem t.despeculated entry then Code_cache.Nonspec
+          if fenced || Hashtbl.mem t.despeculated entry then Code_cache.Nonspec
           else Code_cache.Mitigated t.cfg.mode
         in
         ignore

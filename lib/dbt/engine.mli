@@ -10,6 +10,15 @@
     Failed translations blacklist the pc and execution stays on the
     interpreter. *)
 
+(** Post-scheduling verification of every translation the engine installs
+    (see {!Gb_verify.Verifier}): [Verify_off] skips it, [Verify_report]
+    checks and records violations but installs anyway, [Verify_enforce]
+    rejects a violating translation from the code cache and retranslates
+    the region with speculation fenced entirely (defense-in-depth against
+    scheduler bugs, independent of the pre-scheduling poisoning
+    analysis). *)
+type verify_level = Verify_off | Verify_report | Verify_enforce
+
 type config = {
   adaptive_retranslate : bool;
       (** rebuild a trace from the current branch profile once its
@@ -38,6 +47,7 @@ type config = {
   cache : Code_cache.config;
       (** capacity budget and chaining switch of the code cache the
           engine installs translations into *)
+  verify : verify_level;  (** install-time translation verification *)
 }
 
 val default_config : config
@@ -59,6 +69,11 @@ type stats = {
   mutable fences_inserted : int;
   mutable spec_loads : int;
   mutable branch_spec_loads : int;
+  mutable verify_checked : int;
+      (** translations (both tiers) the verifier examined *)
+  mutable verify_violations : int;
+  mutable verify_rejections : int;
+      (** translations [Verify_enforce] kept out of the code cache *)
 }
 
 type t
@@ -138,3 +153,8 @@ val record_block_entry : t -> int -> unit
 val translate : t -> int -> Gb_vliw.Vinsn.trace option
 (** Force a translation attempt (used by tests and tools); [None] when the
     pc cannot be translated. The result is cached either way. *)
+
+val verify_log : t -> (int * Gb_verify.Verifier.violation) list
+(** Every violation the install-time verifier recorded, in chronological
+    order, tagged with the region entry pc it was found in. Empty unless
+    [config.verify] is [Verify_report] or [Verify_enforce]. *)

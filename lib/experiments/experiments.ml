@@ -221,6 +221,170 @@ let chaining_json rows =
       ("rows", Gb_util.Json.List (List.map chain_row_json rows));
     ]
 
+(* --- E9: static verification cross-check -------------------------------- *)
+
+type verify_row = {
+  v_name : string;
+  v_mode : Gb_core.Mitigation.mode;
+  v_checked : int;
+  v_violations : int;
+  v_rejections : int;
+  v_violation_pcs : int list;
+  v_dependent_pcs : int list;
+  v_uncovered : int list;
+}
+
+type scan_row = {
+  s_name : string;
+  s_report : Gb_verify.Scanner.report;
+  s_flagged : int list;
+  s_score : Gb_verify.Scanner.score;
+}
+
+type e9 = {
+  e9_attacks : verify_row list;
+  e9_workloads : verify_row list;
+  e9_scans : scan_row list;
+}
+
+(* [config_for mode] with the install-time verifier attached report-only:
+   enforcement would refence the very translations whose transient
+   behaviour the audit must observe, so the cross-check runs the verifier
+   as a pure observer. *)
+let config_verified mode =
+  let config = Gb_system.Processor.config_for mode in
+  {
+    config with
+    Gb_system.Processor.engine =
+      {
+        config.Gb_system.Processor.engine with
+        Gb_dbt.Engine.verify = Gb_dbt.Engine.Verify_report;
+      };
+  }
+
+(* One verified run; returns the row plus the audit (for the Unsafe run's
+   flagged-pc ground truth). [v_uncovered] is the heart of the
+   cross-check: audited dependent transient pcs the verifier did NOT
+   flag — a static false negative, expected empty always. *)
+let verified_run ?(audit = false) ~name mode asm =
+  let proc =
+    Gb_system.Processor.create ~config:(config_verified mode) ~audit asm
+  in
+  let _ = Gb_system.Processor.run proc in
+  let engine = Gb_system.Processor.engine proc in
+  let es = Gb_dbt.Engine.stats engine in
+  let violation_pcs =
+    List.sort_uniq compare
+      (List.map
+         (fun (_, v) -> v.Gb_verify.Verifier.v_pc)
+         (Gb_dbt.Engine.verify_log engine))
+  in
+  let a = Gb_system.Processor.audit proc in
+  let dependent_pcs =
+    match a with Some a -> Gb_cache.Audit.dependent_pcs a | None -> []
+  in
+  ( {
+      v_name = name;
+      v_mode = mode;
+      v_checked = es.Gb_dbt.Engine.verify_checked;
+      v_violations = es.Gb_dbt.Engine.verify_violations;
+      v_rejections = es.Gb_dbt.Engine.verify_rejections;
+      v_violation_pcs = violation_pcs;
+      v_dependent_pcs = dependent_pcs;
+      v_uncovered =
+        List.filter (fun pc -> not (List.mem pc violation_pcs)) dependent_pcs;
+    },
+    a )
+
+let e9_workload_modes =
+  [ Gb_core.Mitigation.Fine_grained; Gb_core.Mitigation.Fence_on_detect ]
+
+let e9_verify ?(secret = default_secret) () =
+  let attacks =
+    List.map
+      (fun (name, program) ->
+        (name, Gb_kernelc.Compile.assemble program))
+      (attack_programs ~secret)
+  in
+  let attack_rows, scans =
+    List.fold_left
+      (fun (rows, scans) (name, asm) ->
+        let flagged = ref [] in
+        let rows =
+          rows
+          @ List.map
+              (fun mode ->
+                let row, audit = verified_run ~audit:true ~name mode asm in
+                (* ground truth for the scanner: what the runtime detector
+                   flagged when speculation ran unconstrained *)
+                (match (mode, audit) with
+                | Gb_core.Mitigation.Unsafe, Some a ->
+                  flagged := Gb_cache.Audit.flagged_pc_list a
+                | _ -> ());
+                row)
+              Gb_core.Mitigation.all_modes
+        in
+        let report = Gb_verify.Scanner.scan asm in
+        let scan =
+          {
+            s_name = name;
+            s_report = report;
+            s_flagged = !flagged;
+            s_score = Gb_verify.Scanner.score report ~flagged:!flagged;
+          }
+        in
+        (rows, scans @ [ scan ]))
+      ([], []) attacks
+  in
+  let workload_rows =
+    List.concat_map
+      (fun (w : Gb_workloads.Polybench.t) ->
+        let asm =
+          Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program
+        in
+        List.map
+          (fun mode ->
+            fst
+              (verified_run ~name:w.Gb_workloads.Polybench.name mode asm))
+          e9_workload_modes)
+      Gb_workloads.Polybench.all
+  in
+  { e9_attacks = attack_rows; e9_workloads = workload_rows; e9_scans = scans }
+
+let verify_row_json r =
+  let module J = Gb_util.Json in
+  let pcs l = J.List (List.map (fun pc -> J.Int pc) l) in
+  J.Obj
+    [
+      ("name", J.String r.v_name);
+      ("mode", J.String (Gb_core.Mitigation.mode_name r.v_mode));
+      ("checked", J.Int r.v_checked);
+      ("violations", J.Int r.v_violations);
+      ("rejections", J.Int r.v_rejections);
+      ("violation_pcs", pcs r.v_violation_pcs);
+      ("audit_dependent_pcs", pcs r.v_dependent_pcs);
+      ("uncovered_dependent_pcs", pcs r.v_uncovered);
+    ]
+
+let verify_json e =
+  let module J = Gb_util.Json in
+  let scan_json s =
+    J.Obj
+      [
+        ("name", J.String s.s_name);
+        ("scan", Gb_verify.Scanner.report_to_json s.s_report);
+        ("flagged_pcs", J.List (List.map (fun pc -> J.Int pc) s.s_flagged));
+        ("score", Gb_verify.Scanner.score_to_json s.s_score);
+      ]
+  in
+  J.Obj
+    [
+      ("experiment", J.String "static_verification");
+      ("attacks", J.List (List.map verify_row_json e.e9_attacks));
+      ("workloads", J.List (List.map verify_row_json e.e9_workloads));
+      ("scans", J.List (List.map scan_json e.e9_scans));
+    ]
+
 let geomean_slowdown rows ~mode =
   Gb_util.Stats.geomean (List.map (fun mc -> slowdown mc ~mode) rows)
 

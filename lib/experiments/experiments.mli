@@ -112,6 +112,53 @@ val e8_chaining : ?mode:Gb_core.Mitigation.mode -> unit -> chain_row list
 val chaining_json : chain_row list -> Gb_util.Json.t
 (** Machine-readable E8 results. *)
 
+(** E9 (extension) — static verification cross-check: the install-time
+    translation verifier and the guest gadget scanner scored against the
+    runtime leakage audit. *)
+
+(** One verified run: the verifier attached report-only (enforcement
+    would fence away the very leaks the audit must observe). *)
+type verify_row = {
+  v_name : string;
+  v_mode : Gb_core.Mitigation.mode;
+  v_checked : int;  (** translations the verifier examined *)
+  v_violations : int;
+  v_rejections : int;  (** always 0 report-only *)
+  v_violation_pcs : int list;  (** distinct violating guest pcs, sorted *)
+  v_dependent_pcs : int list;
+      (** pcs the audit saw leave dependent transient lines ([] when the
+          run was not audited) *)
+  v_uncovered : int list;
+      (** audited dependent pcs the verifier did NOT flag — a static
+          false negative; must be empty *)
+}
+
+type scan_row = {
+  s_name : string;
+  s_report : Gb_verify.Scanner.report;
+  s_flagged : int list;
+      (** runtime detector's flagged pcs from the audited Unsafe run (the
+          scanner's ground truth) *)
+  s_score : Gb_verify.Scanner.score;
+}
+
+type e9 = {
+  e9_attacks : verify_row list;
+      (** both Spectre variants under every mode, audited *)
+  e9_workloads : verify_row list;
+      (** every Polybench kernel under the mitigated modes, where the
+          verifier must stay silent *)
+  e9_scans : scan_row list;
+}
+
+val e9_workload_modes : Gb_core.Mitigation.mode list
+(** The modes the Polybench rows cover (fine-grained, fence-on-detect). *)
+
+val e9_verify : ?secret:string -> unit -> e9
+
+val verify_json : e9 -> Gb_util.Json.t
+(** Machine-readable E9 results (consumed by the CI verify gate). *)
+
 val geomean_slowdown :
   mode_cycles list -> mode:Gb_core.Mitigation.mode -> float
 

@@ -11,6 +11,7 @@ type kind =
   | Tier_transition of { tier : string }
   | Transient_line of { addr : int; set_idx : int; dependent : bool }
   | Chain of { target : int; op : [ `Link | `Follow | `Break ] }
+  | Verify_violation of { kind : string; bundle : int }
 
 type t = { kind : kind; pc : int; region : int; cycle : int64 }
 
@@ -27,6 +28,7 @@ let name = function
   | Tier_transition _ -> "tier_transition"
   | Transient_line _ -> "transient_line"
   | Chain _ -> "chain"
+  | Verify_violation _ -> "verify_violation"
 
 let args kind =
   let module J = Gb_util.Json in
@@ -54,6 +56,8 @@ let args kind =
       match op with `Link -> "link" | `Follow -> "follow" | `Break -> "break"
     in
     [ ("target", J.Int target); ("op", J.String op) ]
+  | Verify_violation { kind; bundle } ->
+    [ ("kind", J.String kind); ("bundle", J.Int bundle) ]
 
 let to_json t =
   let module J = Gb_util.Json in

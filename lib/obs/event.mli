@@ -36,6 +36,12 @@ type kind =
           the pipeline took such a transfer ([`Follow]), or the link was
           severed because an endpoint was evicted or retranslated
           ([`Break]). pc = the stub's guest target pc. *)
+  | Verify_violation of { kind : string; bundle : int }
+      (** the post-scheduling translation verifier found a violation of
+          the speculation-safety property in an emitted trace: [kind] is
+          the {!Gb_verify.Verifier.kind} name, [bundle] the cycle at
+          which the offending op was scheduled. pc = the op's guest pc;
+          region = the trace's entry. *)
 
 type t = {
   kind : kind;

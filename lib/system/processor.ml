@@ -36,6 +36,9 @@ type result = {
   loads_constrained : int;
   fences_inserted : int;
   spec_loads : int;
+  verify_checked : int;
+  verify_violations : int;
+  verify_rejections : int;
   dispatch_exits : int64;
   chain_follows : int64;
   guest_insns : int64;
@@ -92,6 +95,12 @@ let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop)
     List.iter
       (fun name -> Gb_obs.Sink.incr obs ~by:0 name)
       [ "audit.transient_lines"; "audit.dependent_transient_lines" ];
+  if config.engine.Gb_dbt.Engine.verify <> Gb_dbt.Engine.Verify_off
+     && Gb_obs.Sink.is_active obs
+  then
+    List.iter
+      (fun name -> Gb_obs.Sink.incr obs ~by:0 name)
+      [ "verify.checked"; "verify.violations"; "verify.rejections" ];
   let hier = Gb_cache.Hierarchy.create ~obs config.hier in
   let audit =
     if audit then
@@ -198,6 +207,9 @@ let result_of t exit_code =
     loads_constrained = es.Gb_dbt.Engine.loads_constrained;
     fences_inserted = es.Gb_dbt.Engine.fences_inserted;
     spec_loads = es.Gb_dbt.Engine.spec_loads;
+    verify_checked = es.Gb_dbt.Engine.verify_checked;
+    verify_violations = es.Gb_dbt.Engine.verify_violations;
+    verify_rejections = es.Gb_dbt.Engine.verify_rejections;
     dispatch_exits = !(t.dispatch_exits);
     chain_follows = ms.Gb_vliw.Machine.chain_follows;
     guest_insns =

@@ -32,6 +32,12 @@ type result = {
   loads_constrained : int;
   fences_inserted : int;
   spec_loads : int;
+  verify_checked : int;
+      (** translations examined by the install-time verifier (0 when
+          [engine.verify] is [Verify_off]) *)
+  verify_violations : int;  (** violations the verifier recorded *)
+  verify_rejections : int;
+      (** translations [Verify_enforce] refused to install unfenced *)
   dispatch_exits : int64;
       (** trace exits handled by the dispatch loop; chained transfers
           bypass it, so with chaining on this drops well below
