@@ -16,6 +16,10 @@
      E9  static verification       (extension; the install-time translation
          verifier and the guest gadget scanner cross-checked against the
          runtime leakage audit)
+     E10 differential gate         (extension; reference interpreter vs the
+         full DBT processor on every workload and attack, clean and under
+         deterministic fault injection, plus the oracle-sensitivity
+         negative control)
 
    Run with --no-micro to skip the Bechamel section. *)
 
@@ -360,6 +364,68 @@ let e9 () =
      precision below 1.0 is the price of static over-approximation.\n";
   data
 
+let e10 ~seed () =
+  print_header
+    "E10: differential gate (reference interpreter vs DBT, with fault \
+     injection)";
+  let m = Gb_diff.Matrix.run ~seed () in
+  (* one line per workload: worst case across modes and inject variants *)
+  let by_workload = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Gb_diff.Matrix.row) ->
+      let prev =
+        Option.value ~default:[]
+          (Hashtbl.find_opt by_workload r.Gb_diff.Matrix.r_workload)
+      in
+      Hashtbl.replace by_workload r.Gb_diff.Matrix.r_workload (r :: prev))
+    (List.filter
+       (fun (r : Gb_diff.Matrix.row) ->
+         r.Gb_diff.Matrix.r_inject <> "mcb-suppress:1")
+       m.Gb_diff.Matrix.rows);
+  let rows =
+    Hashtbl.fold (fun name rs acc -> (name, rs) :: acc) by_workload []
+    |> List.sort compare
+    |> List.map (fun (name, rs) ->
+           let runs = List.length rs in
+           let diverged =
+             List.length
+               (List.filter
+                  (fun r -> r.Gb_diff.Matrix.r_divergence <> None)
+                  rs)
+           in
+           let injected =
+             List.fold_left
+               (fun a r -> a + r.Gb_diff.Matrix.r_injected)
+               0 rs
+           in
+           let recovered =
+             List.fold_left
+               (fun a r -> a + r.Gb_diff.Matrix.r_recovered)
+               0 rs
+           in
+           let syncs =
+             List.fold_left (fun a r -> a + r.Gb_diff.Matrix.r_syncs) 0 rs
+           in
+           [
+             name;
+             string_of_int runs;
+             string_of_int syncs;
+             string_of_int diverged;
+             Printf.sprintf "%d/%d" recovered injected;
+           ])
+  in
+  Gb_util.Table.print
+    ~header:
+      [ "workload"; "runs"; "syncs"; "divergences"; "faults recovered" ]
+    ~rows;
+  Format.printf "@.%a@." Gb_diff.Matrix.pp_summary m;
+  print_string
+    "\nExpected shape: zero divergences everywhere -- clean and under\n\
+     every recoverable fault kind -- with every injected fault proven\n\
+     recovered at a later agreement point; the deliberately unsound\n\
+     mcb-suppress control MUST be caught (the oracle is not vacuous).\n";
+  m
+
 (* --- Bechamel microbenchmarks of the DBT software layer ---------------- *)
 
 let micro () =
@@ -480,13 +546,15 @@ let metrics_snapshot ~seed () =
 
 (* [--json-out PREFIX] writes PREFIX_perf.json (cycles and slowdowns per
    experiment), PREFIX_leakage.json (leakage-audit counters),
-   PREFIX_chaining.json (E8 dispatcher-exit measurements) and
-   PREFIX_verify.json (E9 static-verification cross-check). *)
+   PREFIX_chaining.json (E8 dispatcher-exit measurements),
+   PREFIX_verify.json (E9 static-verification cross-check) and
+   PREFIX_diff.json (E10 differential gate matrix). *)
 let json_out_paths prefix =
   ( prefix ^ "_perf.json",
     prefix ^ "_leakage.json",
     prefix ^ "_chaining.json",
-    prefix ^ "_verify.json" )
+    prefix ^ "_verify.json",
+    prefix ^ "_diff.json" )
 
 let write_file path contents =
   let oc = open_out path in
@@ -526,11 +594,12 @@ let () =
   in
   Option.iter
     (fun prefix ->
-      let perf, leakage, chaining, verify = json_out_paths prefix in
+      let perf, leakage, chaining, verify, diff = json_out_paths prefix in
       check_writable perf;
       check_writable leakage;
       check_writable chaining;
-      check_writable verify)
+      check_writable verify;
+      check_writable diff)
     json_out;
   Printf.printf
     "GhostBusters reproduction - benchmark harness\n\
@@ -553,11 +622,12 @@ let () =
       "\nE1 leakage matrix and audit FN counts unchanged under the \
        capacity-constrained cache.\n";
   let verify_data = e9 () in
+  let diff_data = e10 ~seed () in
   metrics_snapshot ~seed ();
   if not no_micro then micro ();
   Option.iter
     (fun prefix ->
-      let perf_path, leakage_path, chaining_path, verify_path =
+      let perf_path, leakage_path, chaining_path, verify_path, diff_path =
         json_out_paths prefix
       in
       let perf =
@@ -589,6 +659,8 @@ let () =
       write_file verify_path
         (Gb_util.Json.to_string_pretty
            (Gb_experiments.Experiments.verify_json verify_data));
-      Printf.printf "\nwrote %s, %s, %s and %s\n" perf_path leakage_path
-        chaining_path verify_path)
+      write_file diff_path
+        (Gb_util.Json.to_string_pretty (Gb_diff.Matrix.to_json diff_data));
+      Printf.printf "\nwrote %s, %s, %s, %s and %s\n" perf_path leakage_path
+        chaining_path verify_path diff_path)
     json_out

@@ -6,6 +6,7 @@
      ghostbusters trace gemm --mode unsafe   dump the hot translated trace
      ghostbusters explain v1|v4              poisoning analysis of Figs 1-2
      ghostbusters scan v1                    static gadget scan of a binary
+     ghostbusters diff gemm --inject evict   differential oracle run
      ghostbusters figure4                    the E2 table *)
 
 open Cmdliner
@@ -674,6 +675,148 @@ let scan_cmd =
     Term.(
       term_result (const run $ workload_arg $ json_flag $ scan_window_arg))
 
+(* --- diff --------------------------------------------------------------- *)
+
+let inject_conv =
+  let parse s =
+    match Gb_system.Inject.parse s with
+    | Ok spec -> Ok spec
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf s = Format.fprintf ppf "%s" (Gb_system.Inject.spec_name s) in
+  Arg.conv (parse, print)
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some inject_conv) None
+    & info [ "inject" ] ~docv:"KIND[:RATE][,...]"
+        ~doc:
+          "Arm the fault-injection harness on the DBT side: evict \
+           (mid-trace code-cache eviction), chain (corrupted chain \
+           target, dispatcher fallback), mcb (spurious conflict, \
+           rollback), translate (transient translation failure, \
+           interpreter fallback), decode (decode-cache flush), \
+           mcb-suppress (hide real conflicts — unsound by design, the \
+           oracle must detect it). Rates default per kind.")
+
+let diff_workload_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD"
+        ~doc:
+          "v1, v4 or a Polybench kernel (see $(b,list)). Omit to run the \
+           whole gate matrix.")
+
+let report_of_single name mode (r : Gb_diff.Oracle.report) =
+  Gb_util.Json.Obj
+    [
+      ("workload", Gb_util.Json.String name);
+      ("mode", Gb_util.Json.String (Gb_core.Mitigation.mode_name mode));
+      ("clean", Gb_util.Json.Bool (Gb_diff.Oracle.clean r));
+      ( "divergence",
+        match r.Gb_diff.Oracle.divergence with
+        | Some d ->
+          Gb_util.Json.String
+            (Format.asprintf "%a" Gb_diff.Oracle.pp_divergence d)
+        | None -> Gb_util.Json.Null );
+      ( "trap",
+        match r.Gb_diff.Oracle.trap with
+        | Some m -> Gb_util.Json.String m
+        | None -> Gb_util.Json.Null );
+      ("syncs", Gb_util.Json.Int r.Gb_diff.Oracle.syncs);
+      ("injected", Gb_util.Json.Int r.Gb_diff.Oracle.injected);
+      ("recovered", Gb_util.Json.Int r.Gb_diff.Oracle.recovered);
+      ( "ref_insns",
+        Gb_util.Json.Int (Int64.to_int r.Gb_diff.Oracle.ref_insns) );
+    ]
+
+let diff_cmd =
+  let run workload mode inject seed json =
+    match workload with
+    | None ->
+      (* the full gate matrix: attacks x modes and all kernels, each under
+         every inject variant, plus the sensitivity control *)
+      let m = Gb_diff.Matrix.run ~seed () in
+      if json then
+        print_endline (Gb_util.Json.to_string_pretty (Gb_diff.Matrix.to_json m))
+      else begin
+        List.iter
+          (fun row ->
+            if not row.Gb_diff.Matrix.r_clean then
+              Printf.printf "DIVERGED %-20s mode=%-15s inject=%-14s %s\n"
+                row.Gb_diff.Matrix.r_workload row.Gb_diff.Matrix.r_mode
+                row.Gb_diff.Matrix.r_inject
+                (Option.value ~default:"(unrecovered faults)"
+                   row.Gb_diff.Matrix.r_divergence))
+          (List.filter
+             (fun r -> r.Gb_diff.Matrix.r_inject <> "mcb-suppress:1")
+             m.Gb_diff.Matrix.rows);
+        Format.printf "%a@." Gb_diff.Matrix.pp_summary m
+      end;
+      if Gb_diff.Matrix.pass m then Ok ()
+      else Error (`Msg "differential gate failed")
+    | Some name ->
+      let program =
+        match name with
+        | "v1" ->
+          Ok
+            (Gb_attack.Spectre_v1.program
+               ~secret:Gb_experiments.Experiments.default_secret ())
+        | "v4" ->
+          Ok
+            (Gb_attack.Spectre_v4.program
+               ~secret:Gb_experiments.Experiments.default_secret ())
+        | name ->
+          Result.map
+            (fun (w : Gb_workloads.Polybench.t) ->
+              w.Gb_workloads.Polybench.program)
+            (find_workload name)
+      in
+      Result.bind program (fun ast ->
+          let config = Gb_system.Processor.config_for mode in
+          let r = Gb_diff.Oracle.run_kernel ~config ?inject ~seed ast in
+          if json then
+            print_endline
+              (Gb_util.Json.to_string_pretty (report_of_single name mode r))
+          else begin
+            Printf.printf "%s under %s%s\n" name
+              (Gb_core.Mitigation.mode_name mode)
+              (match inject with
+              | Some s ->
+                Printf.sprintf " (inject %s, seed %Ld)"
+                  (Gb_system.Inject.spec_name s) seed
+              | None -> "");
+            Printf.printf "syncs            %d\n" r.Gb_diff.Oracle.syncs;
+            Printf.printf "reference insns  %Ld\n" r.Gb_diff.Oracle.ref_insns;
+            if r.Gb_diff.Oracle.injected > 0 then
+              Printf.printf "faults           %d injected, %d recovered\n"
+                r.Gb_diff.Oracle.injected r.Gb_diff.Oracle.recovered;
+            (match r.Gb_diff.Oracle.trap with
+            | Some m -> Printf.printf "DBT trap         %s\n" m
+            | None -> ());
+            match r.Gb_diff.Oracle.divergence with
+            | Some d ->
+              Format.printf "%a@." Gb_diff.Oracle.pp_divergence d
+            | None -> Printf.printf "no divergence\n"
+          end;
+          if Gb_diff.Oracle.clean r then Ok ()
+          else Error (`Msg "differential run not clean"))
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Differentially execute a workload (or the whole gate matrix): \
+          reference interpreter vs. the full DBT processor, architectural \
+          state compared at every trace exit and at program end, \
+          optionally under deterministic fault injection. Exits non-zero \
+          on any divergence or unrecovered fault.")
+    Term.(
+      term_result
+        (const run $ diff_workload_arg $ mode_arg $ inject_arg $ seed_arg
+        $ json_flag))
+
 (* --- figure4 ------------------------------------------------------------ *)
 
 let figure4_cmd =
@@ -717,4 +860,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; attack_cmd; trace_cmd; explain_cmd; disasm_cmd;
-            scan_cmd; figure4_cmd ]))
+            scan_cmd; diff_cmd; figure4_cmd ]))

@@ -70,6 +70,8 @@ type t = {
   audit : Gb_cache.Audit.t option;
   mutable verify_log : (int * Gb_verify.Verifier.violation) list;
       (** (region entry, violation), reverse chronological *)
+  mutable translate_fault : (int -> bool) option;
+      (** fault injection: entry pc -> fail this translation attempt *)
 }
 
 let create ?(obs = Gb_obs.Sink.noop) ?audit cfg ~mem =
@@ -108,6 +110,7 @@ let create ?(obs = Gb_obs.Sink.noop) ?audit cfg ~mem =
     obs;
     audit;
     verify_log = [];
+    translate_fault = None;
   }
   in
   (* The bugfix half of the eviction contract: a capacity-evicted region
@@ -128,6 +131,17 @@ let create ?(obs = Gb_obs.Sink.noop) ?audit cfg ~mem =
 let config t = t.cfg
 
 let stats t = t.stats
+
+let set_translate_fault t hook = t.translate_fault <- hook
+
+let translate_faulted t entry =
+  match t.translate_fault with
+  | Some f when f entry ->
+    (* injected transient failure: the entry is NOT blacklisted, so a
+       later arrival retries and the region eventually translates *)
+    Gb_obs.Sink.incr t.obs "translate.injected_faults";
+    true
+  | Some _ | None -> false
 
 let code_cache t = t.cc
 
@@ -281,7 +295,9 @@ let verify_log t = List.rev t.verify_log
 exception Verify_rejected
 
 let translate_first_pass t entry =
-  if Code_cache.peek t.cc entry <> None || Hashtbl.mem t.fp_blacklist entry
+  if Code_cache.peek t.cc entry <> None
+     || Hashtbl.mem t.fp_blacklist entry
+     || translate_faulted t entry
   then ()
   else
     match
@@ -336,7 +352,7 @@ let translate t entry =
   | Some e when e.Code_cache.e_tier = Code_cache.Trace ->
     Some e.Code_cache.e_trace
   | Some _ | None ->
-    if Hashtbl.mem t.blacklist entry then None
+    if Hashtbl.mem t.blacklist entry || translate_faulted t entry then None
     else begin
       let obs = t.obs in
       Gb_obs.Sink.event obs ~pc:entry ~region:entry

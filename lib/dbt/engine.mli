@@ -154,6 +154,15 @@ val translate : t -> int -> Gb_vliw.Vinsn.trace option
 (** Force a translation attempt (used by tests and tools); [None] when the
     pc cannot be translated. The result is cached either way. *)
 
+val set_translate_fault : t -> (int -> bool) option -> unit
+(** Fault-injection hook for the differential harness: when set, every
+    translation attempt (both tiers) first consults the hook with the
+    entry pc; [true] makes that attempt fail {e transiently} — [None] is
+    returned but the entry is NOT blacklisted, so execution falls back to
+    the interpreter and a later arrival retries. Counted as
+    [translate.injected_faults]. [None] (the default) disables
+    injection. *)
+
 val verify_log : t -> (int * Gb_verify.Verifier.violation) list
 (** Every violation the install-time verifier recorded, in chronological
     order, tagged with the region entry pc it was found in. Empty unless

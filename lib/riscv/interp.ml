@@ -17,22 +17,30 @@ type t = {
   decode_cache : Insn.t option array;
       (* per-word decode cache; sound because guest code is never
          self-modifying in this system *)
+  mutable rdcycle_hook : (int64 -> int64) option;
+      (* filters every rdcycle result (differential record/replay) *)
 }
 
 exception Trap of string
 
 let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
 
+let default_sp mem = Int64.of_int (Mem.size mem - 16)
+
 let create ?(hooks = pure_hooks) ?clock ?regs ~mem ~pc () =
   let clock = match clock with Some c -> c | None -> ref 0L in
   let regs =
     match regs with
     | Some r ->
+      (* never mutated here: a shared register file may be handed back
+         mid-computation (sp in use as a scratch register); callers that
+         want the convention use {!default_sp} — the same single source
+         of truth as the self-allocated path below *)
       assert (Array.length r >= 32);
       r
     | None ->
       let r = Array.make 32 0L in
-      r.(Reg.sp) <- Int64.of_int (Mem.size mem - 16);
+      r.(Reg.sp) <- default_sp mem;
       r
   in
   {
@@ -44,6 +52,7 @@ let create ?(hooks = pure_hooks) ?clock ?regs ~mem ~pc () =
     insn_count = 0L;
     output = Buffer.create 64;
     decode_cache = Array.make (Mem.size mem / 4) None;
+    rdcycle_hook = None;
   }
 
 type step_info = {
@@ -177,15 +186,17 @@ let eval_cond cond a b =
   | Insn.BGEU -> Int64.unsigned_compare a b >= 0
 
 let fetch t pc =
+  (* [pc lsr 2] also maps negative pcs to huge slots, so the single bound
+     check rejects both ends of the range *)
   let slot = pc lsr 2 in
-  if pc land 3 = 0 && slot < Array.length t.decode_cache then
-    match t.decode_cache.(slot) with
-    | Some insn -> insn
-    | None ->
-      let insn = Decode.decode (Mem.load_insn_word t.mem ~addr:pc) in
-      t.decode_cache.(slot) <- Some insn;
-      insn
-  else Decode.decode (Mem.load_insn_word t.mem ~addr:pc)
+  if pc land 3 <> 0 || slot >= Array.length t.decode_cache then
+    trap "instruction fetch fault at pc 0x%x (misaligned or out of range)" pc;
+  match t.decode_cache.(slot) with
+  | Some insn -> insn
+  | None ->
+    let insn = Decode.decode (Mem.load_insn_word t.mem ~addr:pc) in
+    t.decode_cache.(slot) <- Some insn;
+    insn
 
 let step t =
   let pc = t.pc in
@@ -234,7 +245,11 @@ let step t =
         (Char.chr (Int64.to_int (get t Reg.a0) land 0xff))
     | n -> trap "unknown ecall %d at pc 0x%x" n pc)
   | Insn.Fence -> ()
-  | Insn.Rdcycle rd -> set t rd !(t.clock)
+  | Insn.Rdcycle rd ->
+    set t rd
+      (match t.rdcycle_hook with
+      | Some f -> f !(t.clock)
+      | None -> !(t.clock))
   | Insn.Cflush rs1 -> t.hooks.flush_line (Int64.to_int (get t rs1)));
   t.pc <- !next;
   t.insn_count <- Int64.add t.insn_count 1L;

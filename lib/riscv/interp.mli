@@ -28,17 +28,30 @@ type t = {
   output : Buffer.t;  (** bytes written by the write ecall *)
   decode_cache : Insn.t option array;
       (** per-word decode cache (guest code is never self-modifying) *)
+  mutable rdcycle_hook : (int64 -> int64) option;
+      (** when set, every [rdcycle] result is filtered through the hook
+          (given the natural clock reading). The differential oracle
+          records timing on the DBT side and replays it on the reference
+          side, making timing a run input instead of compared state.
+          [None] (default) reads the clock unfiltered. *)
 }
 
 exception Trap of string
 (** Unrecoverable guest error (illegal instruction, bad ecall, ...). *)
 
+val default_sp : Mem.t -> int64
+(** The initial stack pointer convention: 16 bytes below the top of
+    memory. The single source of truth — the self-allocated path of
+    {!create} uses it, and callers supplying their own register file
+    (the processor) must use it too, so the two paths cannot drift. *)
+
 val create :
   ?hooks:hooks -> ?clock:int64 ref -> ?regs:int64 array -> mem:Mem.t ->
   pc:int -> unit -> t
-(** [regs] must have at least 32 entries; a fresh 32-entry file is
-    allocated by default, with [sp] initialised to 16 bytes below the top
-    of memory. *)
+(** [regs] must have at least 32 entries and is never mutated here (it
+    may be a shared file handed back mid-computation); a fresh 32-entry
+    file is allocated by default, with [sp] initialised to
+    {!default_sp}. *)
 
 type step_info = {
   s_pc : int;  (** pc of the executed instruction *)
@@ -66,7 +79,9 @@ val width_bytes : Insn.width -> int
 
 val step : t -> step_info
 (** Execute one instruction, advancing pc and the clock. Raises {!Trap} /
-    {!Mem.Fault} on errors. *)
+    {!Mem.Fault} on errors. A misaligned or out-of-range pc raises a clean
+    {!Trap} ("instruction fetch fault") rather than an array bounds or
+    memory exception. *)
 
 val run : ?max_insns:int64 -> t -> int
 (** Run until the exit ecall; returns the exit code. Raises {!Trap} when

@@ -57,6 +57,7 @@ type t = {
   engine : Gb_dbt.Engine.t;
   obs : Gb_obs.Sink.t;
   audit : Gb_cache.Audit.t option;
+  inject : Inject.t option;
   dispatch_exits : int64 ref;
       (** trace exits handled by the dispatch loop (chained transfers
           bypass it — the quantity trace chaining exists to reduce) *)
@@ -64,12 +65,24 @@ type t = {
       (** set by the chain resolver when it recorded an exit but found
           no translation to continue into: the dispatch loop must not
           record that exit a second time *)
+  on_trace_exit : (Gb_vliw.Pipeline.exit_info -> unit) ref;
+      (** observer fired exactly once per trace exit — by the dispatch
+          loop for exits it handles, by the chain resolver for chained
+          transfers (and for dead-end exits it already recorded) — with
+          architectural state fully committed; the differential oracle
+          hangs its sync points here *)
 }
 
 let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop)
-    ?(audit = false) program =
+    ?(audit = false) ?inject program =
   let mem = Gb_riscv.Mem.create ~size:config.mem_size in
   Gb_riscv.Asm.load mem program;
+  (* an explicit controller wins; otherwise GHOSTBUSTERS_INJECT can arm
+     one under any existing caller (the CI runs the whole suite that
+     way) *)
+  let inject =
+    match inject with Some _ as i -> i | None -> Inject.of_env ~obs ()
+  in
   let clock = ref 0L in
   (* every component stamps its events with the shared simulated clock *)
   Gb_obs.Sink.set_cycle_source obs (fun () -> !clock);
@@ -101,6 +114,10 @@ let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop)
     List.iter
       (fun name -> Gb_obs.Sink.incr obs ~by:0 name)
       [ "verify.checked"; "verify.violations"; "verify.rejections" ];
+  if inject <> None && Gb_obs.Sink.is_active obs then
+    List.iter
+      (fun name -> Gb_obs.Sink.incr obs ~by:0 name)
+      [ "fault.injected"; "fault.recovered" ];
   let hier = Gb_cache.Hierarchy.create ~obs config.hier in
   let audit =
     if audit then
@@ -112,7 +129,9 @@ let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop)
       (Gb_vliw.Vinsn.guest_regs + config.machine.Gb_vliw.Machine.n_hidden)
       0L
   in
-  regs.(Gb_riscv.Reg.sp) <- Int64.of_int (config.mem_size - 16);
+  (* the hoisted sp convention: same single source of truth as
+     Interp.create's self-allocated register file *)
+  regs.(Gb_riscv.Reg.sp) <- Gb_riscv.Interp.default_sp mem;
   (* Interpreter accesses are architectural by definition: they mirror
      straight into the audit's shadow cache. *)
   let hooks =
@@ -150,7 +169,50 @@ let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop)
     Gb_vliw.Machine.create ~cfg:machine_cfg ~mem ~hier ~clock ~regs ~obs
       ?audit ()
   in
-  let engine = Gb_dbt.Engine.create ~obs ?audit config.engine ~mem in
+  (* The machine's MCB is the hardware the translator speculates against:
+     never emit more tags than it has entries, and no memory speculation
+     at all when it is disabled (entries = 0) — otherwise [chk] ops would
+     consume entries that were never allocated and silently commit
+     unchecked speculative values. *)
+  let engine_cfg =
+    let entries = machine_cfg.Gb_vliw.Machine.mcb_entries in
+    let opt =
+      match config.engine.Gb_dbt.Engine.opt_override with
+      | Some o -> o
+      | None ->
+        Gb_core.Mitigation.opt_of_mode config.engine.Gb_dbt.Engine.mode
+    in
+    let clamped =
+      if entries <= 0 then
+        { opt with Gb_ir.Opt_config.mem_spec = false; mcb_tags = 0 }
+      else if opt.Gb_ir.Opt_config.mcb_tags > entries then
+        { opt with Gb_ir.Opt_config.mcb_tags = entries }
+      else opt
+    in
+    if clamped = opt then config.engine
+    else { config.engine with Gb_dbt.Engine.opt_override = Some clamped }
+  in
+  let engine = Gb_dbt.Engine.create ~obs ?audit engine_cfg ~mem in
+  (match inject with
+  | Some inj ->
+    if Inject.rate inj Inject.Translate_fail > 0. then
+      Gb_dbt.Engine.set_translate_fault engine
+        (Some (fun _entry -> Inject.fire inj Inject.Translate_fail));
+    if
+      Inject.rate inj Inject.Mcb_spurious > 0.
+      || Inject.rate inj Inject.Mcb_suppress > 0.
+    then
+      Gb_vliw.Mcb.set_fault_hook machine.Gb_vliw.Machine.mcb
+        (Some
+           (fun ~tag:_ ~conflict ->
+             (* only draws that actually flip the outcome count as
+                injected faults *)
+             if (not conflict) && Inject.fire inj Inject.Mcb_spurious then
+               true
+             else if conflict && Inject.fire inj Inject.Mcb_suppress then
+               false
+             else conflict))
+  | None -> ());
   (* The chained-transfer resolver: do exactly what the dispatch loop
      below would have done for this exit — record it (keeping rollback/
      side-exit ratios current), tick the target's hot counter (which may
@@ -164,19 +226,29 @@ let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop)
      which must then skip its own recording — this callback already did
      it. *)
   let chain_dead_end = ref false in
+  let on_trace_exit = ref (fun (_ : Gb_vliw.Pipeline.exit_info) -> ()) in
   machine.Gb_vliw.Machine.on_chain <-
     (fun info ->
       Gb_dbt.Engine.record_block_exit engine
         ~entry:info.Gb_vliw.Vinsn.exit_entry info;
       Gb_dbt.Engine.record_block_entry engine info.Gb_vliw.Vinsn.next_pc;
-      match Gb_dbt.Engine.chained_successor engine info with
-      | Some _ as next -> next
-      | None ->
+      !on_trace_exit info;
+      match inject with
+      | Some inj when Inject.fire inj Inject.Chain_break ->
+        (* injected chain-target corruption: refuse the link; the exit
+           falls back to the dispatcher, which must skip its own
+           recording — this callback already did it *)
         chain_dead_end := true;
-        None);
+        None
+      | _ -> (
+        match Gb_dbt.Engine.chained_successor engine info with
+        | Some _ as next -> next
+        | None ->
+          chain_dead_end := true;
+          None));
   {
     cfg = config; mem; clock; hier; interp; machine; engine; obs; audit;
-    dispatch_exits = ref 0L; chain_dead_end;
+    inject; dispatch_exits = ref 0L; chain_dead_end; on_trace_exit;
   }
 
 let mem t = t.mem
@@ -188,6 +260,14 @@ let engine t = t.engine
 let obs t = t.obs
 
 let audit t = t.audit
+
+let interp t = t.interp
+
+let machine t = t.machine
+
+let inject t = t.inject
+
+let set_on_trace_exit t f = t.on_trace_exit := f
 
 let result_of t exit_code =
   let ms = t.machine.Gb_vliw.Machine.stats in
@@ -231,6 +311,15 @@ let run t =
     let pc = t.interp.Gb_riscv.Interp.pc in
     match Gb_dbt.Engine.lookup engine pc with
     | Some trace ->
+      (match t.inject with
+      | Some inj when Inject.fire inj Inject.Evict ->
+        (* mid-trace eviction fault: the entry vanishes from the code
+           cache (links severed both ways) while its trace is already in
+           flight; the region re-translates when it turns hot again *)
+        Gb_dbt.Code_cache.invalidate
+          (Gb_dbt.Engine.code_cache engine)
+          pc
+      | _ -> ());
       let info = Gb_vliw.Pipeline.run t.machine trace in
       t.interp.Gb_riscv.Interp.pc <- info.Gb_vliw.Pipeline.next_pc;
       t.dispatch_exits := Int64.add !(t.dispatch_exits) 1L;
@@ -243,11 +332,20 @@ let run t =
       else begin
         Gb_dbt.Engine.record_block_exit engine
           ~entry:info.Gb_vliw.Pipeline.exit_entry info;
-        Gb_dbt.Engine.record_block_entry engine info.Gb_vliw.Pipeline.next_pc
+        Gb_dbt.Engine.record_block_entry engine info.Gb_vliw.Pipeline.next_pc;
+        !(t.on_trace_exit) info
       end;
       (* record_block_entry may just have translated next_pc: patch the
          stub we exited through so the next pass transfers directly *)
       Gb_dbt.Engine.chain engine info;
+      (match t.inject with
+      | Some inj when Inject.fire inj Inject.Decode_flush ->
+        (* decode-cache poisoning fault: drop every decoded entry, the
+           interpreter must re-decode from guest memory *)
+        Array.fill t.interp.Gb_riscv.Interp.decode_cache 0
+          (Array.length t.interp.Gb_riscv.Interp.decode_cache)
+          None
+      | _ -> ());
       loop ()
     | None -> (
       let si = Gb_riscv.Interp.step t.interp in

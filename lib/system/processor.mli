@@ -60,6 +60,7 @@ val create :
   ?config:config ->
   ?obs:Gb_obs.Sink.t ->
   ?audit:bool ->
+  ?inject:Inject.t ->
   Gb_riscv.Asm.program ->
   t
 (** [obs] (default {!Gb_obs.Sink.noop}) is threaded into the cache
@@ -68,7 +69,15 @@ val create :
     [audit] (default [false]) attaches a {!Gb_cache.Audit} leakage audit:
     a shadow cache fed only by architecturally-committed accesses runs in
     lockstep with the real one, every trace exit diffs the two, and the
-    result's [audit] field carries the classification summary. *)
+    result's [audit] field carries the classification summary.
+    [inject] arms the fault-injection harness at the documented points
+    (mid-trace eviction, chain-target corruption, MCB conflict-bit
+    faults, transient translation failure, decode-cache flush); when
+    omitted, {!Inject.of_env} can arm one from [GHOSTBUSTERS_INJECT].
+    The processor also clamps the translator's MCB tag budget to the
+    machine's [mcb_entries] (none at all when that is 0 — "MCB
+    disabled"), so generated code can never check entries the hardware
+    does not have. *)
 
 val mem : t -> Gb_riscv.Mem.t
 
@@ -81,6 +90,23 @@ val obs : t -> Gb_obs.Sink.t
 
 val audit : t -> Gb_cache.Audit.t option
 (** The leakage audit, when created with [~audit:true]. *)
+
+val interp : t -> Gb_riscv.Interp.t
+(** The reference interpreter holding the shared architectural state
+    (used by the differential oracle to read pc/regs/output). *)
+
+val machine : t -> Gb_vliw.Machine.t
+(** The VLIW core (the differential oracle installs its rdcycle
+    record hook here). *)
+
+val inject : t -> Inject.t option
+(** The armed fault controller, if any. *)
+
+val set_on_trace_exit : t -> (Gb_vliw.Pipeline.exit_info -> unit) -> unit
+(** Install an observer fired exactly once per trace exit (dispatch-loop
+    exits and chained transfers alike), after the exit stub committed
+    architectural state and the engine recorded the exit. The
+    differential oracle synchronises the reference interpreter here. *)
 
 val run : t -> result
 (** Run to the exit ecall. Raises {!Gb_riscv.Interp.Trap} on guest errors

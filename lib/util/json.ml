@@ -126,14 +126,21 @@ let literal st word value =
   else fail st "invalid literal"
 
 let add_utf8 buf code =
-  (* encode one Unicode scalar value (from \uXXXX) as UTF-8 *)
+  (* encode one Unicode scalar value (from \uXXXX, possibly a combined
+     surrogate pair) as UTF-8 *)
   if code < 0x80 then Buffer.add_char buf (Char.chr code)
   else if code < 0x800 then begin
     Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
   end
-  else begin
+  else if code < 0x10000 then begin
     Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3f)));
     Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
   end
@@ -158,15 +165,34 @@ let parse_string st =
       | Some 't' -> Buffer.add_char buf '\t'; advance st
       | Some 'u' ->
         advance st;
-        if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
-        let hex = String.sub st.src st.pos 4 in
-        let code =
+        let read_hex4 () =
+          if st.pos + 4 > String.length st.src then
+            fail st "truncated \\u escape";
+          let hex = String.sub st.src st.pos 4 in
           match int_of_string_opt ("0x" ^ hex) with
-          | Some c -> c
+          | Some c ->
+            st.pos <- st.pos + 4;
+            c
           | None -> fail st "invalid \\u escape %S" hex
         in
-        st.pos <- st.pos + 4;
-        add_utf8 buf code
+        let code = read_hex4 () in
+        if code >= 0xD800 && code <= 0xDBFF then begin
+          (* high surrogate: UTF-16 requires a low surrogate right after *)
+          if st.pos + 2 > String.length st.src
+             || st.src.[st.pos] <> '\\'
+             || st.src.[st.pos + 1] <> 'u'
+          then fail st "lone high surrogate \\u%04X" code;
+          st.pos <- st.pos + 2;
+          let low = read_hex4 () in
+          if low < 0xDC00 || low > 0xDFFF then
+            fail st "high surrogate \\u%04X not followed by a low surrogate"
+              code;
+          add_utf8 buf
+            (0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00))
+        end
+        else if code >= 0xDC00 && code <= 0xDFFF then
+          fail st "lone low surrogate \\u%04X" code
+        else add_utf8 buf code
       | Some c -> fail st "invalid escape \\%C" c
       | None -> fail st "unterminated escape");
       go ()

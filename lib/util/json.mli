@@ -21,5 +21,6 @@ val of_string : string -> (t, string) result
 (** Parse one JSON document (object key order is preserved). Numbers
     without a fraction or exponent parse as [Int] — so values produced by
     {!to_string}, which prints floats with a decimal point, round-trip
-    exactly; [\u] escapes decode to UTF-8. [Error] carries a message with
-    the byte offset of the failure. *)
+    exactly; [\u] escapes decode to UTF-8, with UTF-16 surrogate pairs
+    combined into one non-BMP scalar (a lone surrogate is a parse error).
+    [Error] carries a message with the byte offset of the failure. *)

@@ -31,6 +31,7 @@ type t = {
   obs : Gb_obs.Sink.t;
   audit : Gb_cache.Audit.t option;
   mutable on_chain : Vinsn.exit_info -> Vinsn.trace option;
+  mutable rdcycle_hook : (int64 -> int64) option;
 }
 
 let create ?(cfg = default_config) ~mem ~hier ~clock ?regs
@@ -55,4 +56,5 @@ let create ?(cfg = default_config) ~mem ~hier ~clock ?regs
     obs;
     audit;
     on_chain = (fun _ -> None);
+    rdcycle_hook = None;
   }

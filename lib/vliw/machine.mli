@@ -60,6 +60,15 @@ type t = {
           cache, so it never chains); {!Gb_system.Processor} installs
           the real one. The final (returned) exit is never reported
           here. *)
+  mutable rdcycle_hook : (int64 -> int64) option;
+      (** when set, every [Rdcycle] op's result is filtered through the
+          hook (given the natural clock reading). The differential
+          oracle uses it to record the timing values a run observed —
+          committed rdcycles execute in guest program order on both
+          tiers (pinned barrier nodes), so the recorded stream can be
+          replayed into the reference interpreter, which turns timing
+          into a run {e input} instead of compared state. [None]
+          (default) reads the clock unfiltered. *)
 }
 
 val create :

@@ -8,16 +8,31 @@ type t
 
 val create : ?obs:Gb_obs.Sink.t -> entries:int -> unit -> t
 (** [obs] (default {!Gb_obs.Sink.noop}) receives a [vliw.mcb_conflicts]
-    counter and a {!Gb_obs.Event.Mcb_conflict} event per marked entry. *)
+    counter and a {!Gb_obs.Event.Mcb_conflict} event per marked entry.
+    [entries = 0] means "MCB disabled": {!alloc}/{!store_probe} are
+    no-ops and {!check} reports no conflict. A disabled MCB requires the
+    translator to emit no speculative memory ops ({!Gb_ir.Opt_config}
+    with [mem_spec = false]; the processor clamps this automatically).
+    Raises [Invalid_argument] when [entries] is negative. *)
 
 val entries : t -> int
+
+val enabled : t -> bool
+(** [entries t > 0]. *)
+
+val set_fault_hook : t -> (tag:int -> conflict:bool -> bool) option -> unit
+(** Fault-injection hook for the differential harness: when set, every
+    {!check} result is filtered through the hook (return [true] to force
+    a spurious conflict, [false] to suppress a real one). [None] (the
+    default) leaves results untouched. *)
 
 val clear : t -> unit
 (** Invalidate all entries (done on trace entry). *)
 
 val alloc : t -> tag:int -> addr:int -> size:int -> unit
 (** Record a speculative load. Re-allocating a live tag resets its
-    conflict bit. *)
+    conflict bit. Out-of-range tags (always the case when disabled) are
+    ignored. *)
 
 val store_probe : t -> addr:int -> size:int -> unit
 (** Called by every store: marks every live entry overlapping the range. *)

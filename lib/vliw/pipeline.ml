@@ -89,7 +89,11 @@ let run_one (m : Machine.t) (trace : Vinsn.trace) =
       push_write ~taint:(tainted a || tainted b) dst
         (Gb_riscv.Interp.alu_rr op (eval m.regs a) (eval m.regs b))
     | Mv { dst; src } -> push_write ~taint:(tainted src) dst (eval m.regs src)
-    | Rdcycle { dst } -> push_write dst clock_now
+    | Rdcycle { dst } ->
+      push_write dst
+        (match m.rdcycle_hook with
+        | Some f -> f clock_now
+        | None -> clock_now)
     | Load { w; unsigned; dst; base; off; spec; id; pc; hoisted } ->
       let addr = Int64.to_int (Int64.add (eval m.regs base) (Int64.of_int off)) in
       let size = Gb_riscv.Interp.width_bytes w in

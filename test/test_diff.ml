@@ -1,0 +1,270 @@
+(* Differential oracle + fault-injection harness. *)
+
+let polybench name =
+  match Gb_workloads.Polybench.by_name name with
+  | Some k -> k.Gb_workloads.Polybench.program
+  | None -> Alcotest.failf "unknown polybench kernel %S" name
+
+let check_clean what (r : Gb_diff.Oracle.report) =
+  (match r.divergence with
+  | Some d ->
+    Alcotest.failf "%s: unexpected divergence: %s" what
+      (Format.asprintf "%a" Gb_diff.Oracle.pp_divergence d)
+  | None -> ());
+  (match r.trap with
+  | Some m -> Alcotest.failf "%s: DBT run trapped: %s" what m
+  | None -> ());
+  Alcotest.(check bool) (what ^ " clean") true (Gb_diff.Oracle.clean r)
+
+(* --- clean differential runs ------------------------------------------ *)
+
+let test_clean_kernel () =
+  let r = Gb_diff.Oracle.run_kernel (polybench "gemm") in
+  check_clean "matmul" r;
+  Alcotest.(check bool) "synced at trace exits" true (r.syncs > 0);
+  Alcotest.(check bool) "reference executed" true
+    (Int64.compare r.ref_insns 0L > 0)
+
+let test_clean_all_modes () =
+  List.iter
+    (fun mode ->
+      let program =
+        Gb_attack.Spectre_v1.program ~secret:"DIFF!" () |> fun ast ->
+        Gb_kernelc.Compile.assemble ast
+      in
+      let config = Gb_system.Processor.config_for mode in
+      let r = Gb_diff.Oracle.run ~config program in
+      check_clean
+        (Printf.sprintf "spectre-v1 under %s" (Gb_core.Mitigation.mode_name mode))
+        r)
+    Gb_core.Mitigation.all_modes
+
+let test_divergence_counter () =
+  let obs = Gb_obs.Sink.create () in
+  let r = Gb_diff.Oracle.run_kernel ~obs (polybench "atax") in
+  check_clean "atax" r;
+  match Gb_obs.Sink.metrics obs with
+  | None -> Alcotest.fail "active sink has metrics"
+  | Some m ->
+    Alcotest.(check int) "diff.divergences = 0" 0
+      (Gb_obs.Metrics.counter_value m "diff.divergences")
+
+(* --- fault injection: every recoverable kind recovers ------------------ *)
+
+let test_inject_recovers kind () =
+  let spec = [ (kind, Gb_system.Inject.default_rate kind) ] in
+  let r =
+    Gb_diff.Oracle.run_kernel ~seed:7L ~inject:spec (polybench "gemm")
+  in
+  check_clean (Gb_system.Inject.kind_name kind) r;
+  Alcotest.(check int)
+    (Gb_system.Inject.kind_name kind ^ " recovered = injected")
+    r.injected r.recovered
+
+let test_inject_fires () =
+  (* at a forced rate the harness must actually inject something, or the
+     recovery gates are vacuous *)
+  let r =
+    Gb_diff.Oracle.run_kernel ~seed:3L
+      ~inject:[ (Gb_system.Inject.Translate_fail, 1.0) ]
+      (polybench "gemm")
+  in
+  check_clean "translate:1.0" r;
+  Alcotest.(check bool) "faults were injected" true (r.injected > 0)
+
+let test_inject_combined () =
+  let spec =
+    List.filter_map
+      (fun k ->
+        if Gb_system.Inject.recoverable k then
+          Some (k, Gb_system.Inject.default_rate k)
+        else None)
+      Gb_system.Inject.all_kinds
+  in
+  let r = Gb_diff.Oracle.run_kernel ~seed:11L ~inject:spec (polybench "mvt") in
+  check_clean "all recoverable kinds" r
+
+(* --- sensitivity control: mcb-suppress must be DETECTED ---------------- *)
+
+let test_suppress_detected () =
+  (* Suppressing real MCB conflicts commits stale speculative values; the
+     oracle proves its own sensitivity by catching that as a divergence.
+     Spectre v4 under the unsafe mode genuinely misorders speculated
+     loads against stores, so suppressed conflicts corrupt real state. *)
+  let program = Gb_attack.Spectre_v4.program ~secret:"DIFF!" () in
+  let config = Gb_system.Processor.config_for Gb_core.Mitigation.Unsafe in
+  let detected = ref false in
+  (try
+     for seed = 1 to 8 do
+       let r =
+         Gb_diff.Oracle.run_kernel ~config ~seed:(Int64.of_int seed)
+           ~inject:[ (Gb_system.Inject.Mcb_suppress, 1.0) ]
+           program
+       in
+       if r.injected > 0 && not (Gb_diff.Oracle.clean r) then begin
+         detected := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "suppressed conflicts caught as divergence" true
+    !detected
+
+(* --- qcheck: random kernels x random fault schedules -------------------- *)
+
+let kernel_gen =
+  (* small arithmetic kernels over a few scalars and one array, with a
+     loop hot enough to promote to a trace; every generated program is
+     deterministic, so the two sides must agree exactly *)
+  let open QCheck.Gen in
+  let open Gb_kernelc.Ast in
+  let c n = Const (Int64.of_int n) in
+  let var = oneofl [ "a"; "b"; "c"; "d" ] in
+  let leaf =
+    oneof
+      [ map (fun n -> c (n land 0xff)) small_nat; map (fun v -> Var v) var ]
+  in
+  let expr =
+    sized_size (int_range 0 3)
+    @@ fix (fun self n ->
+           if n = 0 then leaf
+           else
+             oneof
+               [
+                 leaf;
+                 map3
+                   (fun op l r -> Bin (op, l, r))
+                   (oneofl [ Add; Sub; Mul; And; Or; Xor ])
+                   (self (n / 2)) (self (n / 2));
+               ])
+  in
+  let stmt =
+    oneof
+      [
+        map2 (fun v e -> Set (v, e)) var expr;
+        map2
+          (fun i e -> Arr_store ("buf", [ c (i land 7) ], e))
+          small_nat expr;
+        map2
+          (fun e t -> If (Bin (Lt, Var "i", e), t, [ Set ("d", c 9) ]))
+          expr
+          (map (fun e -> [ Set ("b", e) ]) expr);
+      ]
+  in
+  let body = list_size (int_range 1 5) stmt in
+  map
+    (fun stmts ->
+      {
+        arrays = [ { a_name = "buf"; a_ty = I64; a_dims = [ 8 ]; a_init = Zero } ];
+        body =
+          [
+            Let ("a", c 1);
+            Let ("b", c 2);
+            Let ("c", c 3);
+            Let ("d", c 4);
+            For
+              ( "i", c 0, c 64,
+                stmts
+                @ [
+                    Set ("a", Bin (Add, Var "a", Var "i"));
+                    Arr_store ("buf", [ Bin (And, Var "i", c 7) ], Var "a");
+                  ] );
+            Set ("a", Bin (Add, Var "a", Arr ("buf", [ c 3 ])));
+            Set
+              ( "a",
+                Bin
+                  ( Add,
+                    Var "a",
+                    Bin (Add, Var "b", Bin (Add, Var "c", Var "d")) ) );
+          ];
+        result = Bin (And, Var "a", c 255);
+      })
+    body
+
+let fault_schedule_gen =
+  let open QCheck.Gen in
+  let recoverable =
+    List.filter Gb_system.Inject.recoverable Gb_system.Inject.all_kinds
+  in
+  let one =
+    map2
+      (fun k r -> (k, float_of_int (1 + (r land 15)) /. 64.))
+      (oneofl recoverable) small_nat
+  in
+  list_size (int_range 0 3) one
+
+let prop_random_diff =
+  QCheck.Test.make ~count:30
+    ~name:"random kernels x random fault schedules: zero divergences"
+    (QCheck.make
+       QCheck.Gen.(triple kernel_gen fault_schedule_gen (map Int64.of_int small_nat)))
+    (fun (kernel, schedule, seed) ->
+      List.iter
+        (fun mode ->
+          let config = Gb_system.Processor.config_for mode in
+          let inject = if schedule = [] then None else Some schedule in
+          let r = Gb_diff.Oracle.run_kernel ~config ?inject ~seed kernel in
+          if not (Gb_diff.Oracle.clean r) then
+            QCheck.Test.fail_reportf
+              "mode %s, schedule %s, seed %Ld: %s (injected %d, recovered %d)"
+              (Gb_core.Mitigation.mode_name mode)
+              (match inject with
+              | Some s -> Gb_system.Inject.spec_name s
+              | None -> "none")
+              seed
+              (match r.divergence with
+              | Some d -> Format.asprintf "%a" Gb_diff.Oracle.pp_divergence d
+              | None ->
+                Option.fold ~none:"unclean" ~some:(( ^ ) "trap: ") r.trap)
+              r.injected r.recovered)
+        Gb_core.Mitigation.all_modes;
+      true)
+
+(* --- matrix ------------------------------------------------------------ *)
+
+let test_matrix_smoke () =
+  let m =
+    Gb_diff.Matrix.run ~seed:5L
+      ~attacks:[ "spectre-v1" ]
+      ~kernels:[ "gemm" ]
+      ~injects:[ None; Some [ (Gb_system.Inject.Evict, 0.05) ] ]
+      ()
+  in
+  Alcotest.(check bool) "matrix rows" true (List.length m.Gb_diff.Matrix.rows > 0);
+  Alcotest.(check int) "matrix divergences" 0 m.Gb_diff.Matrix.divergences;
+  Alcotest.(check bool) "sensitivity control detected" true
+    m.Gb_diff.Matrix.sensitivity_detected;
+  (* JSON renders without raising *)
+  ignore (Gb_util.Json.to_string (Gb_diff.Matrix.to_json m))
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_random_diff ] in
+  Alcotest.run "diff"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "clean kernel run" `Quick test_clean_kernel;
+          Alcotest.test_case "spectre-v1 x all modes" `Quick test_clean_all_modes;
+          Alcotest.test_case "divergence counter stays 0" `Quick
+            test_divergence_counter;
+        ] );
+      ( "inject",
+        Alcotest.test_case "injection fires" `Quick test_inject_fires
+        :: Alcotest.test_case "combined kinds recover" `Quick test_inject_combined
+        :: List.filter_map
+             (fun k ->
+               if Gb_system.Inject.recoverable k then
+                 Some
+                   (Alcotest.test_case
+                      ("recovers from " ^ Gb_system.Inject.kind_name k)
+                      `Quick (test_inject_recovers k))
+               else None)
+             Gb_system.Inject.all_kinds );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "mcb-suppress is detected" `Quick
+            test_suppress_detected;
+        ] );
+      ("matrix", [ Alcotest.test_case "smoke" `Quick test_matrix_smoke ]);
+      ("property", qsuite);
+    ]

@@ -332,6 +332,48 @@ let disasm_illegal_words () =
       line.Gb_riscv.Disasm.text
   | _ -> Alcotest.fail "expected one line"
 
+(* Regression: a misaligned or out-of-range pc must raise a clean guest
+   Trap from fetch, not an array-bounds or memory exception (pre-fix, a
+   jalr to an odd-but-4-unaligned or negative target escaped as
+   Invalid_argument from the decode cache). *)
+let fetch_fault_clean_trap () =
+  let mem = Gb_riscv.Mem.create ~size:4096 in
+  let expect_fetch_trap what pc =
+    let t = Gb_riscv.Interp.create ~mem ~pc () in
+    match Gb_riscv.Interp.step t with
+    | _ -> Alcotest.failf "%s: expected a trap at pc 0x%x" what pc
+    | exception Gb_riscv.Interp.Trap m ->
+      Alcotest.(check bool)
+        (what ^ ": trap names the fetch fault")
+        true
+        (String.length m >= 23
+        && String.sub m 0 23 = "instruction fetch fault")
+    | exception e ->
+      Alcotest.failf "%s: expected Trap, got %s" what (Printexc.to_string e)
+  in
+  expect_fetch_trap "misaligned" 0x1002;
+  expect_fetch_trap "past end of memory" 8192;
+  expect_fetch_trap "negative" (-4);
+  expect_fetch_trap "misaligned and negative" (-3)
+
+(* Regression: the initial stack pointer convention lives in exactly one
+   place. The self-allocated register file uses it, and create never
+   mutates a caller-supplied file (sp may be live scratch state when an
+   interpreter is re-created over a shared file mid-computation). *)
+let default_sp_convention () =
+  let mem = Gb_riscv.Mem.create ~size:4096 in
+  Alcotest.(check int64) "16 bytes below top" (Int64.of_int (4096 - 16))
+    (Gb_riscv.Interp.default_sp mem);
+  let t = Gb_riscv.Interp.create ~mem ~pc:0 () in
+  Alcotest.(check int64) "fresh file gets the convention"
+    (Gb_riscv.Interp.default_sp mem)
+    t.Gb_riscv.Interp.regs.(Gb_riscv.Reg.sp);
+  let shared = Array.make 32 0L in
+  shared.(Gb_riscv.Reg.sp) <- 0L (* live zero, not "unset" *);
+  let t2 = Gb_riscv.Interp.create ~regs:shared ~mem ~pc:0 () in
+  Alcotest.(check int64) "caller-supplied file is never mutated" 0L
+    t2.Gb_riscv.Interp.regs.(Gb_riscv.Reg.sp)
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -352,6 +394,10 @@ let () =
           Alcotest.test_case "rdcycle monotonic" `Quick rdcycle_monotonic;
           Alcotest.test_case "output ecall" `Quick output_ecall;
           Alcotest.test_case "fault on bad access" `Quick fault_on_bad_access;
+          Alcotest.test_case "fetch fault is a clean trap" `Quick
+            fetch_fault_clean_trap;
+          Alcotest.test_case "default sp convention" `Quick
+            default_sp_convention;
           qt mulhu_reference_prop;
         ] );
       ( "asm",

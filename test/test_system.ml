@@ -323,6 +323,66 @@ let differential_prop =
 
 let qt = QCheck_alcotest.to_alcotest
 
+(* The processor and the reference interpreter must establish the same
+   initial stack pointer, so that the differential oracle can compare
+   register files from the very first sync point. *)
+let sp_convention () =
+  let program = square_sum_program 10 in
+  let proc = Gb_system.Processor.create program in
+  let interp = Gb_system.Processor.interp proc in
+  let mem = Gb_system.Processor.mem proc in
+  Alcotest.(check int64)
+    "processor sp = Interp.default_sp"
+    (Gb_riscv.Interp.default_sp mem)
+    interp.Gb_riscv.Interp.regs.(Gb_riscv.Reg.sp)
+
+(* mcb_entries = 0 means "MCB disabled": the processor clamps memory
+   speculation out of the translator, and execution stays correct. *)
+let mcb_disabled_correct () =
+  let config =
+    {
+      Gb_system.Processor.default_config with
+      machine =
+        {
+          Gb_vliw.Machine.default_config with
+          Gb_vliw.Machine.mcb_entries = 0;
+        };
+    }
+  in
+  List.iter
+    (fun program ->
+      let expected = interp_exit program in
+      let r = Gb_system.Processor.run_program ~config program in
+      Alcotest.(check int) "exit code" expected
+        r.Gb_system.Processor.exit_code;
+      Alcotest.(check int64) "no rollbacks without MCB" 0L
+        r.Gb_system.Processor.rollbacks)
+    [ square_sum_program 400; aliasing_program 400 ]
+
+(* GHOSTBUSTERS_INJECT arms the fault controller for any processor run
+   that doesn't pass one explicitly (how CI injects faults suite-wide). *)
+let inject_env_arming () =
+  let var = Gb_system.Inject.env_var in
+  let old = Sys.getenv_opt var in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv var (Option.value old ~default:""))
+    (fun () ->
+      Unix.putenv var "evict:0.25,translate";
+      (match Gb_system.Inject.of_env () with
+      | None -> Alcotest.fail "of_env did not arm a controller"
+      | Some inj ->
+          Alcotest.(check (float 1e-9))
+            "evict rate" 0.25
+            (Gb_system.Inject.rate inj Gb_system.Inject.Evict);
+          Alcotest.(check bool)
+            "sound spec" true
+            (Gb_system.Inject.sound inj));
+      Unix.putenv var "";
+      Alcotest.(check bool)
+        "empty env arms nothing" true
+        (Gb_system.Inject.of_env () = None))
+
 let () =
   Alcotest.run "system"
     [
@@ -344,5 +404,9 @@ let () =
           Alcotest.test_case "tier upgrade" `Quick tier_upgrade;
           Alcotest.test_case "adaptive retranslation" `Quick
             adaptive_retranslation;
+          Alcotest.test_case "sp convention" `Quick sp_convention;
+          Alcotest.test_case "mcb disabled stays correct" `Quick
+            mcb_disabled_correct;
+          Alcotest.test_case "inject env arming" `Quick inject_env_arming;
         ] );
     ]

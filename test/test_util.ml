@@ -147,6 +147,42 @@ let json_parsing () =
   Alcotest.(check bool) "unterminated array" true (err "[1,2");
   Alcotest.(check bool) "bad literal" true (err "nul")
 
+(* Regression: \uXXXX escapes above the BMP arrive as UTF-16 surrogate
+   pairs and must decode to one 4-byte UTF-8 scalar (pre-fix, each half
+   was emitted as a bogus 3-byte sequence); a lone surrogate is not a
+   scalar value and must be rejected, not silently encoded. *)
+let json_surrogate_pairs () =
+  let module J = Gb_util.Json in
+  let ok s =
+    match J.of_string s with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "parse %S: %s" s e
+  in
+  (* U+1F600 (grinning face) = f0 9f 98 80 *)
+  Alcotest.(check bool) "surrogate pair decodes to one scalar" true
+    (ok {|"\uD83D\uDE00"|} = J.String "\xf0\x9f\x98\x80");
+  (* U+10000, the first non-BMP scalar *)
+  Alcotest.(check bool) "lowest astral scalar" true
+    (ok {|"\uD800\uDC00"|} = J.String "\xf0\x90\x80\x80");
+  (* U+10FFFF, the last one *)
+  Alcotest.(check bool) "highest scalar" true
+    (ok {|"\uDBFF\uDFFF"|} = J.String "\xf4\x8f\xbf\xbf");
+  (* BMP escapes still work around a pair *)
+  Alcotest.(check bool) "pair amid BMP escapes" true
+    (ok {|"a\u00E9\uD83D\uDE00z"|}
+    = J.String "a\xc3\xa9\xf0\x9f\x98\x80z");
+  (* a non-BMP scalar round-trips through the encoder's escaping *)
+  let v = J.String "\xf0\x9f\x98\x80" in
+  Alcotest.(check bool) "encoder round-trip" true
+    (J.of_string (J.to_string v) = Ok v);
+  let err s = match J.of_string s with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "lone high surrogate" true (err {|"\uD83D"|});
+  Alcotest.(check bool) "high surrogate then text" true (err {|"\uD83Dab"|});
+  Alcotest.(check bool) "high surrogate then BMP escape" true
+    (err {|"\uD83DA"|});
+  Alcotest.(check bool) "lone low surrogate" true (err {|"\uDE00"|});
+  Alcotest.(check bool) "two high surrogates" true (err {|"\uD83D\uD83D"|})
+
 let json_parse_roundtrip_prop =
   (* any value we can encode must parse back to itself *)
   let module J = Gb_util.Json in
@@ -217,6 +253,7 @@ let () =
           Alcotest.test_case "encoding" `Quick json_encoding;
           Alcotest.test_case "pretty round-trip" `Quick json_pretty_roundtrip;
           Alcotest.test_case "parsing" `Quick json_parsing;
+          Alcotest.test_case "surrogate pairs" `Quick json_surrogate_pairs;
           qt json_parse_roundtrip_prop;
         ] );
     ]

@@ -311,6 +311,41 @@ let mcb_tag_reuse () =
   Gb_vliw.Mcb.alloc mcb ~tag:1 ~addr:100 ~size:8;
   Alcotest.(check bool) "reset" false (Gb_vliw.Mcb.check mcb ~tag:1)
 
+let mcb_disabled () =
+  (* entries = 0 is a valid configuration meaning "MCB disabled": all
+     operations are safe no-ops and check never reports a conflict. *)
+  let mcb = Gb_vliw.Mcb.create ~entries:0 () in
+  Alcotest.(check bool) "disabled" false (Gb_vliw.Mcb.enabled mcb);
+  Alcotest.(check int) "entries" 0 (Gb_vliw.Mcb.entries mcb);
+  Gb_vliw.Mcb.alloc mcb ~tag:0 ~addr:100 ~size:8;
+  Gb_vliw.Mcb.store_probe mcb ~addr:100 ~size:8;
+  Alcotest.(check bool) "no conflict" false (Gb_vliw.Mcb.check mcb ~tag:0);
+  Gb_vliw.Mcb.clear mcb;
+  Alcotest.(check int) "no conflicts recorded" 0
+    (Gb_vliw.Mcb.conflicts_recorded mcb);
+  Alcotest.check_raises "negative entries rejected"
+    (Invalid_argument "Mcb.create: negative entries") (fun () ->
+      ignore (Gb_vliw.Mcb.create ~entries:(-1) ()))
+
+let mcb_fault_hook () =
+  let mcb = Gb_vliw.Mcb.create ~entries:4 () in
+  (* spurious: force a conflict where none exists *)
+  Gb_vliw.Mcb.alloc mcb ~tag:2 ~addr:100 ~size:8;
+  Gb_vliw.Mcb.set_fault_hook mcb (Some (fun ~tag:_ ~conflict:_ -> true));
+  Alcotest.(check bool) "spurious conflict" true
+    (Gb_vliw.Mcb.check mcb ~tag:2);
+  (* suppress: hide a real conflict *)
+  Gb_vliw.Mcb.alloc mcb ~tag:2 ~addr:100 ~size:8;
+  Gb_vliw.Mcb.store_probe mcb ~addr:100 ~size:8;
+  Gb_vliw.Mcb.set_fault_hook mcb (Some (fun ~tag:_ ~conflict:_ -> false));
+  Alcotest.(check bool) "suppressed conflict" false
+    (Gb_vliw.Mcb.check mcb ~tag:2);
+  (* removing the hook restores normal behaviour *)
+  Gb_vliw.Mcb.set_fault_hook mcb None;
+  Gb_vliw.Mcb.alloc mcb ~tag:3 ~addr:200 ~size:8;
+  Gb_vliw.Mcb.store_probe mcb ~addr:200 ~size:8;
+  Alcotest.(check bool) "hook removed" true (Gb_vliw.Mcb.check mcb ~tag:3)
+
 let () =
   Alcotest.run "vliw"
     [
@@ -338,5 +373,7 @@ let () =
           Alcotest.test_case "rollback on conflict" `Quick mcb_rollback;
           Alcotest.test_case "partial overlap" `Quick mcb_partial_overlap;
           Alcotest.test_case "tag reuse" `Quick mcb_tag_reuse;
+          Alcotest.test_case "entries=0 disables" `Quick mcb_disabled;
+          Alcotest.test_case "fault hook" `Quick mcb_fault_hook;
         ] );
     ]
