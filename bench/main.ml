@@ -280,21 +280,7 @@ let e8 ~seed () =
     Gb_experiments.Experiments.e1_poc_matrix ~audit:true ~seed
       ~cc_capacity:Gb_experiments.Experiments.e8_tiny_capacity ()
   in
-  let verdicts rows =
-    List.map
-      (fun (r : Gb_experiments.Experiments.poc_row) ->
-        ( r.Gb_experiments.Experiments.variant,
-          Gb_core.Mitigation.mode_name r.Gb_experiments.Experiments.mode,
-          Gb_attack.Runner.succeeded r.Gb_experiments.Experiments.outcome,
-          match
-            r.Gb_experiments.Experiments.outcome.Gb_attack.Runner.result
-              .Gb_system.Processor.audit
-          with
-          | Some s -> s.Gb_cache.Audit.false_negatives
-          | None -> -1 ))
-      rows
-  in
-  (rows, constrained, verdicts)
+  (rows, constrained)
 
 let e9 () =
   print_header
@@ -528,6 +514,9 @@ let micro () =
 
 (* --- Gb_obs metrics snapshot of an instrumented run -------------------- *)
 
+(* Returns the counter snapshot so the run manifest records the same run
+   it prints (this is the canonical instrumented run —
+   {!Gb_perf.Collect.counters_snapshot} reproduces it bit-for-bit). *)
 let metrics_snapshot ~seed () =
   print_header "Metrics snapshot: one instrumented run (Gb_obs)";
   let w = List.hd Gb_workloads.Polybench.all in
@@ -540,21 +529,25 @@ let metrics_snapshot ~seed () =
   in
   Printf.printf "workload: %s (fine-grained mode)\n%s\n"
     w.Gb_workloads.Polybench.name
-    (Gb_util.Json.to_string_pretty (Gb_obs.Sink.metrics_json obs))
+    (Gb_util.Json.to_string_pretty (Gb_obs.Sink.metrics_json obs));
+  Gb_obs.Sink.counters obs
 
 (* --- JSON export ------------------------------------------------------- *)
 
 (* [--json-out PREFIX] writes PREFIX_perf.json (cycles and slowdowns per
    experiment), PREFIX_leakage.json (leakage-audit counters),
    PREFIX_chaining.json (E8 dispatcher-exit measurements),
-   PREFIX_verify.json (E9 static-verification cross-check) and
-   PREFIX_diff.json (E10 differential gate matrix). *)
+   PREFIX_verify.json (E9 static-verification cross-check),
+   PREFIX_diff.json (E10 differential gate matrix) and
+   PREFIX_manifest.json (the schema-versioned run manifest the perf
+   trajectory and CI perf gate consume, see lib/perf). *)
 let json_out_paths prefix =
   ( prefix ^ "_perf.json",
     prefix ^ "_leakage.json",
     prefix ^ "_chaining.json",
     prefix ^ "_verify.json",
-    prefix ^ "_diff.json" )
+    prefix ^ "_diff.json",
+    prefix ^ "_manifest.json" )
 
 let write_file path contents =
   let oc = open_out path in
@@ -594,13 +587,28 @@ let () =
   in
   Option.iter
     (fun prefix ->
-      let perf, leakage, chaining, verify, diff = json_out_paths prefix in
+      let perf, leakage, chaining, verify, diff, manifest =
+        json_out_paths prefix
+      in
       check_writable perf;
       check_writable leakage;
       check_writable chaining;
       check_writable verify;
-      check_writable diff)
+      check_writable diff;
+      check_writable manifest)
     json_out;
+  (* JSON consumers own stdout: under --json-out every table and progress
+     line is rerouted to stderr, and the original stdout is kept only for
+     the final one-line verdict. *)
+  let verdict_out =
+    match json_out with
+    | None -> None
+    | Some _ ->
+      flush stdout;
+      let orig = Unix.dup Unix.stdout in
+      Unix.dup2 Unix.stderr Unix.stdout;
+      Some (Unix.out_channel_of_descr orig)
+  in
   Printf.printf
     "GhostBusters reproduction - benchmark harness\n\
      (paper: S. Rokicki, \"GhostBusters: Mitigating Spectre Attacks on a\n\
@@ -612,8 +620,11 @@ let () =
   e5 ();
   e6 ();
   e7 ();
-  let chain_rows, constrained_poc, verdicts = e8 ~seed () in
-  if verdicts poc <> verdicts constrained_poc then
+  let chain_rows, constrained_poc = e8 ~seed () in
+  let verdicts_unchanged =
+    Gb_perf.Collect.poc_verdicts_equal poc constrained_poc
+  in
+  if not verdicts_unchanged then
     print_string
       "\nWARNING: E1 leakage verdicts CHANGED under the capacity-constrained \
        code cache!\n"
@@ -623,11 +634,16 @@ let () =
        capacity-constrained cache.\n";
   let verify_data = e9 () in
   let diff_data = e10 ~seed () in
-  metrics_snapshot ~seed ();
+  let counters = metrics_snapshot ~seed () in
   if not no_micro then micro ();
   Option.iter
     (fun prefix ->
-      let perf_path, leakage_path, chaining_path, verify_path, diff_path =
+      let ( perf_path,
+            leakage_path,
+            chaining_path,
+            verify_path,
+            diff_path,
+            manifest_path ) =
         json_out_paths prefix
       in
       let perf =
@@ -649,9 +665,13 @@ let () =
             ("chaining", Gb_experiments.Experiments.chaining_json chain_rows);
             ( "constrained_poc_matrix",
               Gb_experiments.Experiments.poc_json constrained_poc );
-            ( "verdicts_unchanged",
-              Gb_util.Json.Bool (verdicts poc = verdicts constrained_poc) );
+            ("verdicts_unchanged", Gb_util.Json.Bool verdicts_unchanged);
           ]
+      in
+      let manifest =
+        Gb_perf.Collect.of_data ~seed ~counters ~verdicts_unchanged
+          ~e9:verify_data ~e10:diff_data ~poc ~figure4:data ~e4:e4_mc
+          ~chaining:chain_rows ()
       in
       write_file perf_path (Gb_util.Json.to_string_pretty perf);
       write_file leakage_path (Gb_util.Json.to_string_pretty leakage);
@@ -661,6 +681,19 @@ let () =
            (Gb_experiments.Experiments.verify_json verify_data));
       write_file diff_path
         (Gb_util.Json.to_string_pretty (Gb_diff.Matrix.to_json diff_data));
-      Printf.printf "\nwrote %s, %s, %s, %s and %s\n" perf_path leakage_path
-        chaining_path verify_path diff_path)
+      Gb_perf.Manifest.write manifest_path manifest;
+      Printf.printf "\nwrote %s, %s, %s, %s, %s and %s\n" perf_path
+        leakage_path chaining_path verify_path diff_path manifest_path;
+      (* the only stdout output of a --json-out run *)
+      Option.iter
+        (fun oc ->
+          flush stdout;
+          Printf.fprintf oc
+            "bench OK: %s (%d metrics, %d verdicts, rev %s, seed %Ld)\n"
+            manifest_path
+            (List.length manifest.Gb_perf.Manifest.metrics)
+            (List.length manifest.Gb_perf.Manifest.verdicts)
+            manifest.Gb_perf.Manifest.rev seed;
+          flush oc)
+        verdict_out)
     json_out

@@ -7,7 +7,8 @@
      ghostbusters explain v1|v4              poisoning analysis of Figs 1-2
      ghostbusters scan v1                    static gadget scan of a binary
      ghostbusters diff gemm --inject evict   differential oracle run
-     ghostbusters figure4                    the E2 table *)
+     ghostbusters figure4                    the E2 table
+     ghostbusters perf record|compare|report perf-trajectory manifests *)
 
 open Cmdliner
 
@@ -733,12 +734,22 @@ let report_of_single name mode (r : Gb_diff.Oracle.report) =
     ]
 
 let diff_cmd =
-  let run workload mode inject seed json =
+  let run workload mode inject seed json trace_out metrics_out profile =
+    match check_outputs trace_out metrics_out with
+    | Error e -> Error e
+    | Ok () ->
+    let obs = sink_of_flags ~seed trace_out metrics_out profile false in
+    let finish result =
+      emit_observability obs ~trace_out ~metrics_out ~profile;
+      result
+    in
+    finish
+    @@
     match workload with
     | None ->
       (* the full gate matrix: attacks x modes and all kernels, each under
          every inject variant, plus the sensitivity control *)
-      let m = Gb_diff.Matrix.run ~seed () in
+      let m = Gb_diff.Matrix.run ~obs ~seed () in
       if json then
         print_endline (Gb_util.Json.to_string_pretty (Gb_diff.Matrix.to_json m))
       else begin
@@ -776,7 +787,7 @@ let diff_cmd =
       in
       Result.bind program (fun ast ->
           let config = Gb_system.Processor.config_for mode in
-          let r = Gb_diff.Oracle.run_kernel ~config ?inject ~seed ast in
+          let r = Gb_diff.Oracle.run_kernel ~config ~obs ?inject ~seed ast in
           if json then
             print_endline
               (Gb_util.Json.to_string_pretty (report_of_single name mode r))
@@ -815,7 +826,7 @@ let diff_cmd =
     Term.(
       term_result
         (const run $ diff_workload_arg $ mode_arg $ inject_arg $ seed_arg
-        $ json_flag))
+        $ json_flag $ trace_out_arg $ metrics_out_arg $ profile_flag))
 
 (* --- figure4 ------------------------------------------------------------ *)
 
@@ -850,6 +861,258 @@ let figure4_cmd =
   Cmd.v (Cmd.info "figure4" ~doc:"Regenerate the paper's Figure 4 series")
     Term.(const run $ json_flag)
 
+(* --- perf --------------------------------------------------------------- *)
+
+let manifest_of_path path =
+  Result.map_error (fun e -> `Msg e) (Gb_perf.Manifest.read path)
+
+(* --against accepts a trajectory directory (baseline selected by seq or
+   --baseline-rev) or a single manifest file *)
+let load_baseline ~against ~rev =
+  if Sys.file_exists against && Sys.is_directory against then
+    match Gb_perf.Baseline.load_dir against with
+    | Error e -> Error (`Msg e)
+    | Ok manifests -> (
+      match Gb_perf.Baseline.select ?rev manifests with
+      | Some m -> Ok m
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "no baseline%s in %s"
+               (match rev with
+               | Some r -> Printf.sprintf " with rev %s" r
+               | None -> "")
+               against)))
+  else manifest_of_path against
+
+let perf_out_arg =
+  Arg.(
+    value
+    & opt string "GB_manifest.json"
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Where to write the recorded manifest.")
+
+let quick_flag =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:
+          "Record only the cycle, slowdown and chaining cells (skip E9, \
+           E10 and the capacity-constrained E1 re-check). A quick manifest \
+           compares against a full baseline with the skipped cells \
+           reported as removed coverage.")
+
+let seq_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seq" ] ~docv:"N"
+        ~doc:
+          "Trajectory sequence number to stamp into the manifest (use \
+           $(b,perf compare --against DIR) first; the next free number is \
+           one past the highest committed one). 0 = unplaced.")
+
+let against_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "against" ] ~docv:"PATH"
+        ~doc:
+          "Baseline: a trajectory directory (e.g. $(b,bench/trajectory)) \
+           or a single manifest file.")
+
+let manifest_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "manifest" ] ~docv:"FILE"
+        ~doc:
+          "Manifest to compare (e.g. the bench's BENCH_manifest.json). \
+           When omitted, a fresh full manifest is recorded first (~10s).")
+
+let baseline_rev_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline-rev" ] ~docv:"REV"
+        ~doc:
+          "Pin the baseline to the trajectory manifest recorded at this \
+           git rev (prefix match) instead of the latest sequence number.")
+
+let tol_cycles_arg =
+  Arg.(
+    value
+    & opt float Gb_perf.Baseline.default_tol_cycles
+    & info [ "tol-cycles" ] ~docv:"FRAC"
+        ~doc:
+          "Relative tolerance for cycle, slowdown and dispatcher-exit \
+           cells (default 0.01 = 1%). Audit false-negative cells and \
+           verdicts always compare exact.")
+
+let strict_flag =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Also fail when the current manifest lost metric coverage \
+           (cells present in the baseline but missing now) — a skipped \
+           experiment cannot hide a regression. The CI perf gate runs \
+           with this.")
+
+let report_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report-out" ] ~docv:"FILE"
+        ~doc:"Also write the comparison as JSON to $(docv) (CI artifact).")
+
+let record_manifest ~seed ~full ~seq =
+  Printf.eprintf "perf: recording %s manifest (seed %Ld)...\n%!"
+    (if full then "full" else "quick")
+    seed;
+  let m = Gb_perf.Collect.collect ~seed ~full () in
+  if seq = 0 then m else { m with Gb_perf.Manifest.seq = seq }
+
+let perf_record_cmd =
+  let run out quick seq seed =
+    let m = record_manifest ~seed ~full:(not quick) ~seq in
+    Gb_perf.Manifest.write out m;
+    Printf.printf "recorded %s: %d metrics, %d verdicts, rev %s, seed %Ld\n"
+      out
+      (List.length m.Gb_perf.Manifest.metrics)
+      (List.length m.Gb_perf.Manifest.verdicts)
+      m.Gb_perf.Manifest.rev m.Gb_perf.Manifest.seed
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run the bench experiments and write a schema-versioned run \
+          manifest (per-kernel cycles, slowdowns, dispatcher-exit rates, \
+          counter snapshots and gate verdicts).")
+    Term.(const run $ perf_out_arg $ quick_flag $ seq_arg $ seed_arg)
+
+let perf_compare_cmd =
+  let run against manifest rev tol_cycles strict json report_out seed =
+    Result.bind (load_baseline ~against ~rev) (fun baseline ->
+        let current =
+          match manifest with
+          | Some path -> manifest_of_path path
+          | None -> Ok (record_manifest ~seed ~full:true ~seq:0)
+        in
+        Result.bind current (fun current ->
+            let cmp =
+              Gb_perf.Baseline.compare ~tol_cycles ~strict ~baseline current
+            in
+            if json then
+              print_endline
+                (Gb_util.Json.to_string_pretty (Gb_perf.Report.to_json cmp))
+            else print_string (Gb_perf.Report.to_ascii cmp);
+            Option.iter
+              (fun path ->
+                write_file path
+                  (Gb_util.Json.to_string_pretty (Gb_perf.Report.to_json cmp)))
+              report_out;
+            if cmp.Gb_perf.Baseline.passed then Ok ()
+            else
+              Error
+                (`Msg
+                  (Printf.sprintf "perf gate failed: %d regressed cell(s)%s"
+                     cmp.Gb_perf.Baseline.regressed
+                     (if strict && cmp.Gb_perf.Baseline.removed > 0 then
+                        Printf.sprintf ", %d removed cell(s)"
+                          cmp.Gb_perf.Baseline.removed
+                      else "")))))
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Compare a run manifest against the committed perf trajectory and \
+          exit non-zero on any regression verdict (cycles beyond \
+          tolerance, audit false negatives, flipped gate verdicts).")
+    Term.(
+      term_result
+        (const run $ against_arg $ manifest_arg $ baseline_rev_arg
+        $ tol_cycles_arg $ strict_flag $ json_flag $ report_out_arg
+        $ seed_arg))
+
+let perf_report_cmd =
+  let run against manifest rev tol_cycles json seed =
+    let current =
+      match manifest with
+      | Some path -> manifest_of_path path
+      | None -> Ok (record_manifest ~seed ~full:true ~seq:0)
+    in
+    Result.bind current (fun current ->
+        match against with
+        | None ->
+          (* no baseline: summarise the manifest itself *)
+          if json then
+            print_endline
+              (Gb_util.Json.to_string_pretty
+                 (Gb_perf.Manifest.to_json current))
+          else begin
+            Printf.printf
+              "manifest seq %d, rev %s, seed %Ld, schema v%d\n\
+               %d metrics, %d verdicts\n"
+              current.Gb_perf.Manifest.seq current.Gb_perf.Manifest.rev
+              current.Gb_perf.Manifest.seed
+              current.Gb_perf.Manifest.schema_version
+              (List.length current.Gb_perf.Manifest.metrics)
+              (List.length current.Gb_perf.Manifest.verdicts);
+            let failed =
+              List.filter
+                (fun (_, ok) -> not ok)
+                current.Gb_perf.Manifest.verdicts
+            in
+            if failed <> [] then begin
+              Printf.printf "failed verdicts:\n";
+              List.iter (fun (name, _) -> Printf.printf "  %s\n" name) failed
+            end
+          end;
+          Ok ()
+        | Some against ->
+          Result.map
+            (fun baseline ->
+              let cmp =
+                Gb_perf.Baseline.compare ~tol_cycles ~baseline current
+              in
+              if json then
+                print_endline
+                  (Gb_util.Json.to_string_pretty (Gb_perf.Report.to_json cmp))
+              else
+                print_string
+                  (Gb_perf.Report.to_markdown ~max_unchanged:max_int cmp))
+            (load_baseline ~against ~rev))
+  in
+  let against_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "against" ] ~docv:"PATH"
+          ~doc:
+            "Baseline trajectory directory or manifest file; when given, \
+             render the full comparison (markdown) instead of the \
+             manifest summary.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a manifest (or its comparison against a baseline, with \
+          $(b,--against)) without gating: always exits 0.")
+    Term.(
+      term_result
+        (const run $ against_opt $ manifest_arg $ baseline_rev_arg
+        $ tol_cycles_arg $ json_flag $ seed_arg))
+
+let perf_cmd =
+  Cmd.group
+    (Cmd.info "perf"
+       ~doc:
+         "Performance trajectory: record schema-versioned run manifests, \
+          compare them against the committed baseline \
+          (bench/trajectory/BENCH_*.json) and render regression reports. \
+          See docs/OBSERVABILITY.md \"Performance trajectory\".")
+    [ perf_record_cmd; perf_compare_cmd; perf_report_cmd ]
+
 let () =
   let doc =
     "GhostBusters: Spectre attacks and their mitigation on a DBT-based \
@@ -860,4 +1123,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; attack_cmd; trace_cmd; explain_cmd; disasm_cmd;
-            scan_cmd; diff_cmd; figure4_cmd ]))
+            scan_cmd; diff_cmd; figure4_cmd; perf_cmd ]))

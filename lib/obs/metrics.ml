@@ -44,6 +44,11 @@ let incr t ?(by = 1) name =
 let counter_value t name =
   match Hashtbl.find_opt t.counters name with Some c -> c.c | None -> 0
 
+let counters t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun name c acc -> (name, c.c) :: acc) t.counters [])
+
 let set_gauge t name v =
   match Hashtbl.find_opt t.gauges name with
   | Some g -> g.g <- v

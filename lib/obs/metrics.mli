@@ -22,6 +22,10 @@ val incr : t -> ?by:int -> string -> unit
 val counter_value : t -> string -> int
 (** 0 when the counter was never incremented. *)
 
+val counters : t -> (string * int) list
+(** Every counter touched so far, sorted by name (the perf manifest
+    snapshots this). *)
+
 (** {2 Gauges} *)
 
 val set_gauge : t -> string -> float -> unit

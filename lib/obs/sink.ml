@@ -43,6 +43,8 @@ let time t phase f =
 
 let metrics = function Noop -> None | Active a -> Some a.metrics
 
+let counters = function Noop -> [] | Active a -> Metrics.counters a.metrics
+
 let events = function Noop -> [] | Active a -> Ring.to_list a.events
 
 let dropped_events = function Noop -> 0 | Active a -> Ring.dropped a.events

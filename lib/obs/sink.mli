@@ -45,6 +45,9 @@ val time : t -> string -> (unit -> 'a) -> 'a
 val metrics : t -> Metrics.t option
 (** [None] on {!noop}. *)
 
+val counters : t -> (string * int) list
+(** {!Metrics.counters} of the registry; [[]] on {!noop}. *)
+
 val events : t -> Event.t list
 (** Retained events, oldest first; [] on {!noop}. *)
 

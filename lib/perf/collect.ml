@@ -1,0 +1,212 @@
+module E = Gb_experiments.Experiments
+module J = Gb_util.Json
+
+let mode_name = Gb_core.Mitigation.mode_name
+
+let mitigated_modes =
+  [
+    Gb_core.Mitigation.Fine_grained;
+    Gb_core.Mitigation.Fence_on_detect;
+    Gb_core.Mitigation.No_speculation;
+  ]
+
+let config_snapshot () =
+  let config = Gb_system.Processor.config_for Gb_core.Mitigation.Unsafe in
+  let engine = config.Gb_system.Processor.engine in
+  [
+    ( "cc_capacity",
+      J.Int engine.Gb_dbt.Engine.cache.Gb_dbt.Code_cache.capacity );
+    ("chain", J.Bool engine.Gb_dbt.Engine.cache.Gb_dbt.Code_cache.chain);
+    ("hot_threshold", J.Int engine.Gb_dbt.Engine.hot_threshold);
+    ("width", J.Int engine.Gb_dbt.Engine.resources.Gb_dbt.Sched.width);
+    ( "modes",
+      J.List
+        (List.map
+           (fun m -> J.String (mode_name m))
+           Gb_core.Mitigation.all_modes) );
+  ]
+
+let counters_snapshot ?(seed = 1L) () =
+  let w = List.hd Gb_workloads.Polybench.all in
+  let obs = Gb_obs.Sink.create ~seed () in
+  let _ =
+    Gb_system.Processor.run_program
+      ~config:(Gb_system.Processor.config_for Gb_core.Mitigation.Fine_grained)
+      ~obs
+      (Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program)
+  in
+  Gb_obs.Sink.counters obs
+
+let cycles_of mc mode =
+  match mode with
+  | Gb_core.Mitigation.Unsafe -> mc.E.unsafe
+  | Gb_core.Mitigation.Fine_grained -> mc.E.fine_grained
+  | Gb_core.Mitigation.Fence_on_detect -> mc.E.fence
+  | Gb_core.Mitigation.No_speculation -> mc.E.no_spec
+
+(* cycles + slowdowns + audited false negatives of one measured workload *)
+let mode_cycles_cells ~exp (mc : E.mode_cycles) =
+  let name metric mode =
+    Printf.sprintf "%s.%s.%s.%s" metric exp mc.E.w_name (mode_name mode)
+  in
+  List.map
+    (fun mode ->
+      (name "cycles" mode, Int64.to_float (cycles_of mc mode)))
+    Gb_core.Mitigation.all_modes
+  @ List.map
+      (fun mode -> (name "slowdown" mode, E.slowdown mc ~mode))
+      mitigated_modes
+  @ List.filter_map
+      (fun (mode, audit) ->
+        Option.map
+          (fun (s : Gb_cache.Audit.summary) ->
+            ( name "audit_fn" mode,
+              float_of_int s.Gb_cache.Audit.false_negatives ))
+          audit)
+      [
+        (Gb_core.Mitigation.Unsafe, mc.E.unsafe_audit);
+        (Gb_core.Mitigation.Fine_grained, mc.E.fine_audit);
+      ]
+
+let poc_cells (poc : E.poc_row list) =
+  List.concat_map
+    (fun (r : E.poc_row) ->
+      let result = r.E.outcome.Gb_attack.Runner.result in
+      let name metric =
+        Printf.sprintf "%s.e1.%s.%s" metric r.E.variant (mode_name r.E.mode)
+      in
+      ( name "cycles",
+        Int64.to_float result.Gb_system.Processor.cycles )
+      ::
+      (match result.Gb_system.Processor.audit with
+      | Some s ->
+        [
+          ( name "audit_fn",
+            float_of_int s.Gb_cache.Audit.false_negatives );
+        ]
+      | None -> []))
+    poc
+
+let poc_verdicts (poc : E.poc_row list) =
+  List.map
+    (fun (r : E.poc_row) ->
+      ( Printf.sprintf "e1.%s.%s.leaked" r.E.variant (mode_name r.E.mode),
+        Gb_attack.Runner.succeeded r.E.outcome ))
+    poc
+
+let poc_verdicts_equal a b =
+  let key (r : E.poc_row) =
+    ( r.E.variant,
+      mode_name r.E.mode,
+      Gb_attack.Runner.succeeded r.E.outcome,
+      match
+        r.E.outcome.Gb_attack.Runner.result.Gb_system.Processor.audit
+      with
+      | Some s -> s.Gb_cache.Audit.false_negatives
+      | None -> -1 )
+  in
+  List.map key a = List.map key b
+
+let chaining_cells (rows : E.chain_row list) =
+  List.concat_map
+    (fun (r : E.chain_row) ->
+      [
+        ( Printf.sprintf "exits_per_1k.e8.%s.nochain" r.E.c_name,
+          E.per_1k r.E.c_exits_nochain r.E.c_guest_insns );
+        ( Printf.sprintf "exits_per_1k.e8.%s.chain" r.E.c_name,
+          E.per_1k r.E.c_exits_chain r.E.c_guest_insns );
+      ])
+    rows
+
+let chaining_verdicts (rows : E.chain_row list) =
+  List.concat_map
+    (fun (r : E.chain_row) ->
+      [
+        (Printf.sprintf "e8.%s.cycles_equal" r.E.c_name, r.E.c_cycles_equal);
+        (Printf.sprintf "e8.%s.arch_equal" r.E.c_name, r.E.c_arch_equal);
+      ])
+    rows
+
+let e9_verdicts (e9 : E.e9) =
+  let silent rows = List.for_all (fun r -> r.E.v_violations = 0) rows in
+  let mitigated_attacks =
+    List.filter (fun r -> r.E.v_mode <> Gb_core.Mitigation.Unsafe) e9.E.e9_attacks
+  in
+  [
+    ("e9.mitigated_silent", silent (mitigated_attacks @ e9.E.e9_workloads));
+    ( "e9.static_fn_zero",
+      List.for_all
+        (fun r -> r.E.v_uncovered = [])
+        (e9.E.e9_attacks @ e9.E.e9_workloads) );
+    ( "e9.scanner_recall_1",
+      List.for_all
+        (fun s -> s.E.s_score.Gb_verify.Scanner.recall >= 1.0)
+        e9.E.e9_scans );
+  ]
+
+let e10_cells (m : Gb_diff.Matrix.t) =
+  let total f =
+    float_of_int
+      (List.fold_left (fun acc r -> acc + f r) 0 m.Gb_diff.Matrix.rows)
+  in
+  [
+    ("faults.e10.injected", total (fun r -> r.Gb_diff.Matrix.r_injected));
+    ("faults.e10.recovered", total (fun r -> r.Gb_diff.Matrix.r_recovered));
+    ( "faults.e10.syncs",
+      total (fun r -> r.Gb_diff.Matrix.r_syncs) );
+  ]
+
+let e10_verdicts (m : Gb_diff.Matrix.t) =
+  [
+    ("e10.passed", Gb_diff.Matrix.pass m);
+    ("e10.sensitivity_detected", m.Gb_diff.Matrix.sensitivity_detected);
+  ]
+
+let geomean_cells figure4 =
+  List.map
+    (fun mode ->
+      ( Printf.sprintf "slowdown.e2.geomean.%s" (mode_name mode),
+        E.geomean_slowdown figure4 ~mode ))
+    mitigated_modes
+
+let of_data ?seq ?rev ?(seed = 1L) ?(counters = []) ?verdicts_unchanged ?e9
+    ?e10 ~poc ~figure4 ~e4 ~chaining () =
+  let metrics =
+    poc_cells poc
+    @ List.concat_map (mode_cycles_cells ~exp:"e2") figure4
+    @ geomean_cells figure4
+    @ mode_cycles_cells ~exp:"e4" e4
+    @ chaining_cells chaining
+    @ List.map
+        (fun (name, v) -> ("counter." ^ name, float_of_int v))
+        counters
+    @ (match e10 with Some m -> e10_cells m | None -> [])
+  in
+  let verdicts =
+    poc_verdicts poc
+    @ chaining_verdicts chaining
+    @ (match verdicts_unchanged with
+      | Some b -> [ ("e8.verdicts_unchanged", b) ]
+      | None -> [])
+    @ (match e9 with Some d -> e9_verdicts d | None -> [])
+    @ match e10 with Some m -> e10_verdicts m | None -> []
+  in
+  Manifest.make ?seq ?rev ~seed ~config:(config_snapshot ()) ~verdicts metrics
+
+let collect ?(seed = 1L) ?(full = true) () =
+  let poc = E.e1_poc_matrix ~audit:true ~seed () in
+  let figure4 = E.e2_figure4 ~audit:true () in
+  let e4 = E.e4_matmul_ablation ~audit:true () in
+  let chaining = E.e8_chaining () in
+  let counters = counters_snapshot ~seed () in
+  if not full then
+    of_data ~seed ~counters ~poc ~figure4 ~e4 ~chaining ()
+  else
+    let constrained =
+      E.e1_poc_matrix ~audit:true ~seed ~cc_capacity:E.e8_tiny_capacity ()
+    in
+    let e9 = E.e9_verify () in
+    let e10 = Gb_diff.Matrix.run ~seed () in
+    of_data ~seed ~counters
+      ~verdicts_unchanged:(poc_verdicts_equal poc constrained)
+      ~e9 ~e10 ~poc ~figure4 ~e4 ~chaining ()

@@ -1,0 +1,92 @@
+(** Schema-versioned run manifests: one JSON document per bench run.
+
+    A manifest is the durable record a run leaves in the perf trajectory
+    ([bench/trajectory/BENCH_<seq>.json]): where it ran (git rev, host and
+    OCaml environment), how it was configured (mitigation modes, code-cache
+    capacity, chaining, seed), what it measured (a flat, sorted
+    [name -> float] metric map: per-experiment per-kernel simulated cycles
+    and slowdowns, dispatcher-exit rates, [Gb_obs] counter snapshots) and
+    what it concluded (a [name -> bool] verdict map: leakage-audit,
+    static-verification and differential-oracle gates).
+
+    The metric names follow a dotted convention the {!Baseline} comparison
+    rules dispatch on:
+
+    - [cycles.<exp>.<kernel>.<mode>] — simulated cycles (lower is better,
+      relative tolerance);
+    - [slowdown.<exp>.<kernel>.<mode>] — cycles(mode)/cycles(unsafe)
+      (lower is better, relative tolerance);
+    - [exits_per_1k.e8.<kernel>.<chain|nochain>] — dispatcher exits per 1k
+      guest instructions (lower is better, relative tolerance; this is the
+      cell that guards the trace-chaining wins);
+    - [audit_fn.<exp>.<kernel>.<mode>] — leakage-audit false negatives
+      (lower is better, zero tolerance);
+    - [counter.<name>] — raw [Gb_obs] counters of the canonical
+      instrumented run (informational: reported, never gated);
+    - [faults.<...>] — fault-injection accounting (informational).
+
+    Verdict cells compare exact: any flip against the baseline is a
+    regression (refresh the baseline when a flip is intentional). *)
+
+type t = {
+  schema_version : int;
+  seq : int;  (** position in the trajectory; 0 = not (yet) committed *)
+  rev : string;  (** git revision the run was built from, or ["unknown"] *)
+  seed : int64;  (** the bench seed the run used *)
+  env : (string * string) list;  (** host/OCaml environment, sorted *)
+  config : (string * Gb_util.Json.t) list;  (** configuration knobs, sorted *)
+  metrics : (string * float) list;  (** sorted by name, unique *)
+  verdicts : (string * bool) list;  (** sorted by name, unique *)
+}
+
+val current_version : int
+(** The schema version this code writes and the only one it reads. *)
+
+val make :
+  ?seq:int ->
+  ?rev:string ->
+  ?seed:int64 ->
+  ?env:(string * string) list ->
+  ?config:(string * Gb_util.Json.t) list ->
+  ?verdicts:(string * bool) list ->
+  (string * float) list ->
+  t
+(** Build a manifest from metric cells. [rev] defaults to {!detect_rev};
+    [env] to {!default_env}; [seq] to 0; [seed] to 1. Metric and verdict
+    lists are sorted and deduplicated (last binding wins). *)
+
+val default_env : unit -> (string * string) list
+(** OCaml version, word size and OS type of the running binary. *)
+
+val detect_rev : unit -> string
+(** [git rev-parse --short HEAD] of the current directory, or ["unknown"]
+    when git is unavailable. *)
+
+val metric : t -> string -> float option
+
+val verdict : t -> string -> bool option
+
+val to_json : t -> Gb_util.Json.t
+
+val of_json : Gb_util.Json.t -> (t, string) result
+(** Validates the schema: a missing or non-matching [schema_version] (both
+    older and unknown newer versions), or a malformed section, is an
+    [Error] naming the offending field. *)
+
+val to_string : t -> string
+(** Pretty-printed JSON. *)
+
+val of_string : string -> (t, string) result
+
+val write : string -> t -> unit
+(** Write to a file (pretty JSON, trailing newline). *)
+
+val read : string -> (t, string) result
+(** Read and validate a manifest file; I/O errors are [Error]s too. *)
+
+val filename : seq:int -> string
+(** [BENCH_<seq, zero-padded to 4>.json] — the trajectory naming scheme. *)
+
+val seq_of_filename : string -> int option
+(** Inverse of {!filename} on a basename; [None] when the name does not
+    match [BENCH_*.json]. *)

@@ -74,16 +74,36 @@ let spec_name spec =
   String.concat ","
     (List.map (fun (k, r) -> Printf.sprintf "%s:%g" (kind_name k) r) spec)
 
+let kind_index = function
+  | Evict -> 0
+  | Chain_break -> 1
+  | Mcb_spurious -> 2
+  | Mcb_suppress -> 3
+  | Translate_fail -> 4
+  | Decode_flush -> 5
+
+let n_kinds = List.length all_kinds
+
 type t = {
   rng : Gb_util.Rng.t;
   spec : spec;
   obs : Gb_obs.Sink.t;
   mutable injected : int;
   mutable recovered : int;
+  injected_k : int array;  (** per {!kind_index} *)
+  recovered_k : int array;
 }
 
 let create ?(obs = Gb_obs.Sink.noop) ?(seed = 1L) spec =
-  { rng = Gb_util.Rng.create seed; spec; obs; injected = 0; recovered = 0 }
+  {
+    rng = Gb_util.Rng.create seed;
+    spec;
+    obs;
+    injected = 0;
+    recovered = 0;
+    injected_k = Array.make n_kinds 0;
+    recovered_k = Array.make n_kinds 0;
+  }
 
 let spec t = t.spec
 
@@ -103,6 +123,7 @@ let fire t kind =
      < int_of_float (r *. float_of_int resolution)
   &&
   (t.injected <- t.injected + 1;
+   t.injected_k.(kind_index kind) <- t.injected_k.(kind_index kind) + 1;
    if Gb_obs.Sink.is_active t.obs then begin
      Gb_obs.Sink.incr t.obs "fault.injected";
      Gb_obs.Sink.incr t.obs ("fault.injected." ^ kind_name kind)
@@ -113,11 +134,35 @@ let injected t = t.injected
 
 let recovered t = t.recovered
 
+let injected_by_kind t kind = t.injected_k.(kind_index kind)
+
+let recovered_by_kind t kind = t.recovered_k.(kind_index kind)
+
+let by_kind t =
+  List.filter_map
+    (fun k ->
+      let i = kind_index k in
+      if t.injected_k.(i) = 0 && t.recovered_k.(i) = 0 then None
+      else Some (k, t.injected_k.(i), t.recovered_k.(i)))
+    all_kinds
+
 let pending t = t.injected - t.recovered
 
 let mark_all_recovered t =
   let delta = pending t in
   if delta > 0 then begin
+    (* per-kind before aggregate, so the [injected.KIND = recovered.KIND]
+       identity holds at every counter snapshot *)
+    List.iter
+      (fun k ->
+        let i = kind_index k in
+        let dk = t.injected_k.(i) - t.recovered_k.(i) in
+        if dk > 0 then begin
+          t.recovered_k.(i) <- t.injected_k.(i);
+          if Gb_obs.Sink.is_active t.obs then
+            Gb_obs.Sink.incr t.obs ~by:dk ("fault.recovered." ^ kind_name k)
+        end)
+      all_kinds;
     t.recovered <- t.recovered + delta;
     if Gb_obs.Sink.is_active t.obs then
       Gb_obs.Sink.incr t.obs ~by:delta "fault.recovered"

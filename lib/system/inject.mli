@@ -85,6 +85,17 @@ val injected : t -> int
 
 val recovered : t -> int
 
+val injected_by_kind : t -> kind -> int
+
+val recovered_by_kind : t -> kind -> int
+(** The per-kind split of the aggregate accounting, published as
+    [fault.injected.KIND] / [fault.recovered.KIND] counters — the
+    [injected = recovered] soundness check is assertable per kind. *)
+
+val by_kind : t -> (kind * int * int) list
+(** [(kind, injected, recovered)] for every kind touched so far, in
+    {!all_kinds} order. *)
+
 val pending : t -> int
 (** [injected - recovered]. *)
 

@@ -305,3 +305,24 @@ let of_string s =
       Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
     else Ok v
   | exception Parse_error msg -> Error msg
+
+(* --- accessors (schema helpers) ----------------------------------------- *)
+
+let get name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let get_int = function Int i -> Some i | _ -> None
+
+let get_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let get_bool = function Bool b -> Some b | _ -> None
+
+let get_str = function String s -> Some s | _ -> None
+
+let get_list = function List l -> Some l | _ -> None
+
+let get_obj = function Obj fields -> Some fields | _ -> None

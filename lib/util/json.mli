@@ -24,3 +24,26 @@ val of_string : string -> (t, string) result
     exactly; [\u] escapes decode to UTF-8, with UTF-16 surrogate pairs
     combined into one non-BMP scalar (a lone surrogate is a parse error).
     [Error] carries a message with the byte offset of the failure. *)
+
+(** {2 Accessors}
+
+    Schema helpers for consumers of parsed documents (the perf-manifest
+    reader, tests): total functions returning [None] on a shape mismatch,
+    so field-by-field validation composes with [Option.bind]. *)
+
+val get : string -> t -> t option
+(** [get name j] is the value of field [name] when [j] is an [Obj]. *)
+
+val get_int : t -> int option
+
+val get_float : t -> float option
+(** Accepts [Int] too (a whole-number cell parses as [Int]). *)
+
+val get_bool : t -> bool option
+
+val get_str : t -> string option
+(** Named to avoid clashing with the {!to_string} encoder. *)
+
+val get_list : t -> t list option
+
+val get_obj : t -> (string * t) list option
