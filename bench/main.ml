@@ -70,6 +70,23 @@ let e1 ~seed () =
      transient cache lines, and no mode has detector false negatives.\n";
   poc
 
+(* the cycle-attribution ledger's dominant non-committed cause of the
+   fence-on-detect run: where that mode's overhead actually goes *)
+let top_overhead_cause (mc : Gb_experiments.Experiments.mode_cycles) =
+  match
+    List.assoc_opt "fence-on-detect" mc.Gb_experiments.Experiments.causes
+  with
+  | None -> "-"
+  | Some shares -> (
+    match
+      List.sort
+        (fun (_, a) (_, b) -> compare (b : float) a)
+        (List.filter (fun (c, _) -> c <> "committed-work") shares)
+    with
+    | (cause, share) :: _ when share > 0. ->
+      Printf.sprintf "%s %.0f%%" cause (100. *. share)
+    | _ -> "-")
+
 let e2 () =
   print_header "E2: Figure 4 - slowdown vs unsafe execution (lower is better)";
   let data = Gb_experiments.Experiments.e2_figure4 ~audit:true () in
@@ -85,18 +102,21 @@ let e2 () =
           pct
             (Gb_experiments.Experiments.slowdown mc
                ~mode:Gb_core.Mitigation.No_speculation);
+          top_overhead_cause mc;
         ])
       data
   in
   let avg mode = pct (Gb_experiments.Experiments.geomean_slowdown data ~mode) in
   Gb_util.Table.print
-    ~header:[ "application"; "unsafe cycles"; "our approach"; "no speculation" ]
+    ~header:
+      [ "application"; "unsafe cycles"; "our approach"; "no speculation";
+        "top overhead cause (fence)" ]
     ~rows:
       (rows
       @ [
           [ "geomean"; "";
             avg Gb_core.Mitigation.Fine_grained;
-            avg Gb_core.Mitigation.No_speculation ];
+            avg Gb_core.Mitigation.No_speculation; "" ];
         ]);
   print_string
     "\nExpected shape (paper Fig. 4): our approach ~100% everywhere;\n\

@@ -8,9 +8,20 @@
      ghostbusters scan v1                    static gadget scan of a binary
      ghostbusters diff gemm --inject evict   differential oracle run
      ghostbusters figure4                    the E2 table
+     ghostbusters profile gemm --mode fence  cycle-attribution ledger
+     ghostbusters profile diff v1 --mode fence --mode unsafe
      ghostbusters perf record|compare|report perf-trajectory manifests *)
 
 open Cmdliner
+
+(* short spellings accepted wherever a mode is expected *)
+let mode_aliases =
+  [
+    ("fence", Gb_core.Mitigation.Fence_on_detect);
+    ("fine", Gb_core.Mitigation.Fine_grained);
+    ("nospec", Gb_core.Mitigation.No_speculation);
+    ("no-spec", Gb_core.Mitigation.No_speculation);
+  ]
 
 let mode_conv =
   let parse s =
@@ -20,13 +31,16 @@ let mode_conv =
         Gb_core.Mitigation.all_modes
     with
     | Some m -> Ok m
-    | None ->
-      Error
-        (`Msg
-          (Printf.sprintf "unknown mode %S (expected one of: %s)" s
-             (String.concat ", "
-                (List.map Gb_core.Mitigation.mode_name
-                   Gb_core.Mitigation.all_modes))))
+    | None -> (
+      match List.assoc_opt s mode_aliases with
+      | Some m -> Ok m
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown mode %S (expected one of: %s)" s
+               (String.concat ", "
+                  (List.map Gb_core.Mitigation.mode_name
+                     Gb_core.Mitigation.all_modes)))))
   in
   let print ppf m = Format.fprintf ppf "%s" (Gb_core.Mitigation.mode_name m) in
   Arg.conv (parse, print)
@@ -861,6 +875,282 @@ let figure4_cmd =
   Cmd.v (Cmd.info "figure4" ~doc:"Regenerate the paper's Figure 4 series")
     Term.(const run $ json_flag)
 
+(* --- profile ------------------------------------------------------------ *)
+
+module At = Gb_obs.Attrib
+
+let cycles_of_units u = float_of_int u /. float_of_int At.scale
+
+let top_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "top" ] ~docv:"N"
+        ~doc:
+          "Ledger rows (tier x trace x pc x cause) to print, hottest first \
+           (0 = all).")
+
+let folded_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "folded-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the ledger as folded stacks \
+           (kernel;tier;trace;pc;cause count) to $(docv) — the input format \
+           of flamegraph.pl and speedscope.")
+
+(* One attributed run: a fresh ledger per run, so the conservation
+   invariant (checked inside the processor, and again here) is against
+   exactly this run's clock. *)
+let profiled_run ~seed ~mode name =
+  Result.map
+    (fun asm ->
+      let obs = Gb_obs.Sink.create ~attrib:true ~seed () in
+      let r =
+        Gb_system.Processor.run_program
+          ~config:(Gb_system.Processor.config_for mode)
+          ~obs asm
+      in
+      let a = Option.get (Gb_obs.Sink.attrib obs) in
+      (r, a))
+    (find_program name)
+
+let conservation_status (r : Gb_system.Processor.result) a =
+  match At.check a ~cycles:r.Gb_system.Processor.cycles with
+  | Ok () -> "ok"
+  | Error msg -> msg
+
+let profile_json ~name ~mode (r : Gb_system.Processor.result) a =
+  Gb_util.Json.Obj
+    [
+      ("workload", Gb_util.Json.String name);
+      ("mode", Gb_util.Json.String (Gb_core.Mitigation.mode_name mode));
+      ("cycles", Gb_util.Json.Int (Int64.to_int r.Gb_system.Processor.cycles));
+      ("conservation", Gb_util.Json.String (conservation_status r a));
+      ("attribution", At.to_json a);
+    ]
+
+let print_profile ~name ~mode (r : Gb_system.Processor.result) a ~top =
+  Printf.printf "%s under %s: %Ld cycles (conservation %s)\n\n" name
+    (Gb_core.Mitigation.mode_name mode)
+    r.Gb_system.Processor.cycles (conservation_status r a);
+  let shares = At.cause_shares a in
+  Gb_util.Table.print
+    ~header:[ "cause"; "cycles"; "share" ]
+    ~rows:
+      (List.map
+         (fun (cause, units) ->
+           [
+             At.cause_name cause;
+             Printf.sprintf "%.1f" (cycles_of_units units);
+             Printf.sprintf "%5.1f%%"
+               (100.
+               *. Option.value ~default:0.
+                    (List.assoc_opt (At.cause_name cause) shares));
+           ])
+         (At.by_cause a));
+  let rows = At.rows a in
+  let shown = if top <= 0 then rows else List.filteri (fun i _ -> i < top) rows in
+  Printf.printf "\nHottest ledger rows (%d of %d):\n" (List.length shown)
+    (List.length rows);
+  Gb_util.Table.print
+    ~header:[ "tier"; "trace"; "guest pc"; "cause"; "cycles" ]
+    ~rows:
+      (List.map
+         (fun (row : At.row) ->
+           [
+             At.tier_name row.At.r_tier;
+             Printf.sprintf "0x%x" row.At.r_trace;
+             Printf.sprintf "0x%x" row.At.r_pc;
+             At.cause_name row.At.r_cause;
+             Printf.sprintf "%.1f" (cycles_of_units row.At.r_units);
+           ])
+         shown)
+
+let profile_run_action name mode top json folded_out seed =
+  Result.bind (profiled_run ~seed ~mode name) (fun (r, a) ->
+      if json then
+        print_endline
+          (Gb_util.Json.to_string_pretty (profile_json ~name ~mode r a))
+      else print_profile ~name ~mode r a ~top;
+      Option.iter
+        (fun path ->
+          let buf = Buffer.create 4096 in
+          At.folded a ~kernel:name ~top:0 buf;
+          write_file path (Buffer.contents buf))
+        folded_out;
+      match At.check a ~cycles:r.Gb_system.Processor.cycles with
+      | Ok () -> Ok ()
+      | Error msg ->
+        Error (`Msg ("cycle attribution conservation violated: " ^ msg)))
+
+let diff_modes_arg =
+  Arg.(
+    value
+    & opt_all mode_conv []
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:
+          "The two modes to diff, given twice: the first is the slower \
+           (mitigated) side, the second the baseline (e.g. $(b,--mode \
+           fence --mode unsafe)).")
+
+let profile_diff_action name m1 m2 json seed =
+  Result.bind (profiled_run ~seed ~mode:m1 name) (fun (r1, a1) ->
+          Result.bind (profiled_run ~seed ~mode:m2 name) (fun (r2, a2) ->
+              let c1 = r1.Gb_system.Processor.cycles
+              and c2 = r2.Gb_system.Processor.cycles in
+              let delta_cycles = Int64.sub c1 c2 in
+              let delta_units =
+                Int64.mul delta_cycles (Int64.of_int At.scale)
+              in
+              let by1 = At.by_cause a1 and by2 = At.by_cause a2 in
+              let delta c = List.assoc c by1 - List.assoc c by2 in
+              (* the mitigation overhead buckets: stalls the fences cost
+                 plus the issue slots serialization left empty *)
+              let explained =
+                delta At.Fence_stall + delta At.Nospec_serialization
+              in
+              let explained_share =
+                if Int64.compare delta_units 0L > 0 then
+                  Some (float_of_int explained /. Int64.to_float delta_units)
+                else None
+              in
+              if json then
+                print_endline
+                  (Gb_util.Json.to_string_pretty
+                     (Gb_util.Json.Obj
+                        [
+                          ("workload", Gb_util.Json.String name);
+                          ( "mode_a",
+                            Gb_util.Json.String
+                              (Gb_core.Mitigation.mode_name m1) );
+                          ( "mode_b",
+                            Gb_util.Json.String
+                              (Gb_core.Mitigation.mode_name m2) );
+                          ("cycles_a", Gb_util.Json.Int (Int64.to_int c1));
+                          ("cycles_b", Gb_util.Json.Int (Int64.to_int c2));
+                          ( "delta_cycles",
+                            Gb_util.Json.Int (Int64.to_int delta_cycles) );
+                          ( "conservation_a",
+                            Gb_util.Json.String (conservation_status r1 a1) );
+                          ( "conservation_b",
+                            Gb_util.Json.String (conservation_status r2 a2) );
+                          ( "delta_by_cause",
+                            Gb_util.Json.Obj
+                              (List.map
+                                 (fun cause ->
+                                   ( At.cause_name cause,
+                                     Gb_util.Json.Float
+                                       (cycles_of_units (delta cause)) ))
+                                 At.all_causes) );
+                          ( "explained_share",
+                            match explained_share with
+                            | Some s -> Gb_util.Json.Float s
+                            | None -> Gb_util.Json.Null );
+                        ]))
+              else begin
+                Printf.printf "%s: %s %Ld cycles vs %s %Ld cycles (%+Ld)\n\n"
+                  name
+                  (Gb_core.Mitigation.mode_name m1)
+                  c1
+                  (Gb_core.Mitigation.mode_name m2)
+                  c2 delta_cycles;
+                Gb_util.Table.print
+                  ~header:
+                    [
+                      "cause";
+                      Gb_core.Mitigation.mode_name m1;
+                      Gb_core.Mitigation.mode_name m2;
+                      "delta";
+                      "of delta";
+                    ]
+                  ~rows:
+                    (List.map
+                       (fun cause ->
+                         let d = delta cause in
+                         [
+                           At.cause_name cause;
+                           Printf.sprintf "%.1f"
+                             (cycles_of_units (List.assoc cause by1));
+                           Printf.sprintf "%.1f"
+                             (cycles_of_units (List.assoc cause by2));
+                           Printf.sprintf "%+.1f" (cycles_of_units d);
+                           (if Int64.compare delta_units 0L > 0 then
+                              Printf.sprintf "%5.1f%%"
+                                (100. *. float_of_int d
+                                /. Int64.to_float delta_units)
+                            else "-");
+                         ])
+                       At.all_causes);
+                match explained_share with
+                | Some s ->
+                  Printf.printf
+                    "\n%.1f%% of the slowdown delta is fence-stall + \
+                     nospec-serialization\n"
+                    (100. *. s)
+                | None -> ()
+              end;
+              Ok ()))
+
+(* [profile WORKLOAD] profiles one run; [profile diff WORKLOAD --mode A
+   --mode B] (or two --mode flags on a plain invocation) diffs two. The
+   "diff" verb is a positional, not a cmdliner subcommand, so the plain
+   form keeps its positional workload. *)
+let profile_pos0_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD"
+        ~doc:
+          "Workload or attack name (see $(b,list)), or the verb $(b,diff) \
+           followed by the name.")
+
+let profile_pos1_arg =
+  Arg.(
+    value
+    & pos 1 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Workload name, after the $(b,diff) verb.")
+
+let profile_cmd =
+  let run arg0 arg1 modes top json folded_out seed =
+    let diff name =
+      match modes with
+      | [ m1; m2 ] -> profile_diff_action name m1 m2 json seed
+      | _ ->
+        Error
+          (`Msg
+            "profile diff needs exactly two --mode flags (slower mode \
+             first, e.g. --mode fence --mode unsafe)")
+    in
+    match (arg0, arg1) with
+    | "diff", Some name -> diff name
+    | "diff", None ->
+      Error (`Msg "usage: profile diff WORKLOAD --mode A --mode B")
+    | _, Some extra ->
+      Error (`Msg (Printf.sprintf "unexpected argument %S" extra))
+    | name, None -> (
+      match modes with
+      | [] ->
+        profile_run_action name Gb_core.Mitigation.Unsafe top json folded_out
+          seed
+      | [ mode ] -> profile_run_action name mode top json folded_out seed
+      | _ -> diff name)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Cycle-attribution profiler: explain where every simulated cycle \
+          of a run went (committed work, fence stalls, serialization, \
+          rollbacks, dispatcher exits, translation, interpreter, cache \
+          misses), keyed by tier, trace and guest pc. With $(b,diff) (or \
+          two $(b,--mode) flags), attribute the cycle delta between two \
+          modes cause by cause. See docs/OBSERVABILITY.md \"Cycle \
+          attribution\".")
+    Term.(
+      term_result
+        (const run $ profile_pos0_arg $ profile_pos1_arg $ diff_modes_arg
+       $ top_arg $ json_flag $ folded_out_arg $ seed_arg))
+
 (* --- perf --------------------------------------------------------------- *)
 
 let manifest_of_path path =
@@ -1123,4 +1413,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; attack_cmd; trace_cmd; explain_cmd; disasm_cmd;
-            scan_cmd; diff_cmd; figure4_cmd; perf_cmd ]))
+            scan_cmd; diff_cmd; figure4_cmd; profile_cmd; perf_cmd ]))

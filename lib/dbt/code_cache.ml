@@ -178,6 +178,15 @@ let insert t ~pc ~tier ~mode trace =
   Hashtbl.replace t.tbl pc e;
   t.used <- t.used + cost;
   t.stats.inserts <- t.stats.inserts + 1;
+  (* register the tier with the attribution ledger: it outlives eviction,
+     so a trace still in flight keeps attributing to the tier it ran at *)
+  (match Gb_obs.Sink.attrib t.obs with
+  | Some a ->
+    Gb_obs.Attrib.set_tier a ~entry:pc
+      (match tier with
+      | Block -> Gb_obs.Attrib.Block
+      | Trace -> Gb_obs.Attrib.Trace)
+  | None -> ());
   gauges t;
   e
 

@@ -318,6 +318,9 @@ let translate_first_pass t entry =
       ignore
         (Code_cache.insert t.cc ~pc:entry ~tier:Code_cache.Block
            ~mode:Code_cache.Nonspec trace);
+      (match Gb_obs.Sink.attrib t.obs with
+      | Some a -> Gb_obs.Attrib.note_translation a ~entry Gb_obs.Attrib.Block
+      | None -> ());
       Hashtbl.replace t.block_meta entry branch_pc;
       t.stats.first_pass_translations <- t.stats.first_pass_translations + 1;
       Gb_obs.Sink.incr t.obs "translate.first_pass";
@@ -488,6 +491,11 @@ let translate t entry =
         in
         ignore
           (Code_cache.insert t.cc ~pc:entry ~tier:Code_cache.Trace ~mode trace);
+        (* per-entry translation counts let attribution reports flag
+           churny regions (retranslation/despeculation loops) *)
+        (match Gb_obs.Sink.attrib obs with
+        | Some a -> Gb_obs.Attrib.note_translation a ~entry Gb_obs.Attrib.Trace
+        | None -> ());
         Hashtbl.replace t.trace_branches entry branch_pcs;
         Hashtbl.remove t.block_meta entry;
         let s = t.stats in

@@ -9,6 +9,7 @@ type mode_cycles = {
   patterns : int;
   unsafe_audit : Gb_cache.Audit.summary option;
   fine_audit : Gb_cache.Audit.summary option;
+  causes : (string * (string * float) list) list;
 }
 
 let cycles_of mc = function
@@ -19,17 +20,32 @@ let cycles_of mc = function
 
 let slowdown mc ~mode = Int64.to_float (cycles_of mc mode) /. Int64.to_float mc.unsafe
 
-let run_workload ?(audit = false) mode program =
-  Gb_system.Processor.run_program ~audit
+let run_workload ?(audit = false) ?obs mode program =
+  Gb_system.Processor.run_program ~audit ?obs
     ~config:(Gb_system.Processor.config_for mode)
     (Gb_kernelc.Compile.assemble program)
 
-let measure_program ?(audit = false) ~name program =
-  let run mode = run_workload ~audit mode program in
-  let unsafe_r = run Gb_core.Mitigation.Unsafe in
-  let fine_r = run Gb_core.Mitigation.Fine_grained in
-  let fence_r = run Gb_core.Mitigation.Fence_on_detect in
-  let nospec_r = run Gb_core.Mitigation.No_speculation in
+let measure_program ?(audit = false) ?(attrib = false) ~name program =
+  (* [attrib] threads a fresh cycle-attribution ledger through each
+     mode's run (a fresh one per run: the conservation invariant holds
+     against that run's clock) and captures the per-cause shares *)
+  let run mode =
+    if attrib then begin
+      let obs = Gb_obs.Sink.create ~attrib:true () in
+      let r = run_workload ~audit ~obs mode program in
+      let shares =
+        match Gb_obs.Sink.attrib obs with
+        | Some a -> Gb_obs.Attrib.cause_shares a
+        | None -> []
+      in
+      (r, (Gb_core.Mitigation.mode_name mode, shares))
+    end
+    else (run_workload ~audit mode program, (Gb_core.Mitigation.mode_name mode, []))
+  in
+  let unsafe_r, unsafe_c = run Gb_core.Mitigation.Unsafe in
+  let fine_r, fine_c = run Gb_core.Mitigation.Fine_grained in
+  let fence_r, fence_c = run Gb_core.Mitigation.Fence_on_detect in
+  let nospec_r, nospec_c = run Gb_core.Mitigation.No_speculation in
   let check (r : Gb_system.Processor.result) =
     if r.Gb_system.Processor.exit_code <> unsafe_r.Gb_system.Processor.exit_code
     then
@@ -49,6 +65,8 @@ let measure_program ?(audit = false) ~name program =
     patterns = fine_r.Gb_system.Processor.patterns_found;
     unsafe_audit = unsafe_r.Gb_system.Processor.audit;
     fine_audit = fine_r.Gb_system.Processor.audit;
+    causes =
+      (if attrib then [ unsafe_c; fine_c; fence_c; nospec_c ] else []);
   }
 
 type poc_row = {
@@ -96,17 +114,17 @@ let e1_poc_matrix ?(secret = default_secret) ?(audit = false) ?(seed = 1L)
         Gb_core.Mitigation.all_modes)
     (attack_programs ~secret)
 
-let e2_figure4 ?(audit = false) () =
+let e2_figure4 ?(audit = false) ?(attrib = true) () =
   let kernels =
     List.map
       (fun (w : Gb_workloads.Polybench.t) ->
-        measure_program ~audit ~name:w.Gb_workloads.Polybench.name
+        measure_program ~audit ~attrib ~name:w.Gb_workloads.Polybench.name
           w.Gb_workloads.Polybench.program)
       Gb_workloads.Polybench.all
   in
   let attacks =
     List.map
-      (fun (name, program) -> measure_program ~audit ~name program)
+      (fun (name, program) -> measure_program ~audit ~attrib ~name program)
       (attack_programs ~secret:default_secret)
   in
   kernels @ attacks
@@ -389,7 +407,7 @@ let geomean_slowdown rows ~mode =
   Gb_util.Stats.geomean (List.map (fun mc -> slowdown mc ~mode) rows)
 
 let mode_cycles_json mc =
-  Gb_util.Json.Obj
+  let base =
     [
       ("name", Gb_util.Json.String mc.w_name);
       ("unsafe_cycles", Gb_util.Json.Int (Int64.to_int mc.unsafe));
@@ -398,6 +416,25 @@ let mode_cycles_json mc =
       ("no_speculation", Gb_util.Json.Float (slowdown mc ~mode:Gb_core.Mitigation.No_speculation));
       ("patterns", Gb_util.Json.Int mc.patterns);
     ]
+  in
+  let causes =
+    match mc.causes with
+    | [] -> []
+    | per_mode ->
+      [
+        ( "cause_shares",
+          Gb_util.Json.Obj
+            (List.map
+               (fun (mode, shares) ->
+                 ( mode,
+                   Gb_util.Json.Obj
+                     (List.map
+                        (fun (c, s) -> (c, Gb_util.Json.Float s))
+                        shares) ))
+               per_mode) );
+      ]
+  in
+  Gb_util.Json.Obj (base @ causes)
 
 let figure4_json rows =
   Gb_util.Json.Obj

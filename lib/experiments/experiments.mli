@@ -16,6 +16,10 @@ type mode_cycles = {
       (** leakage-audit classification of the unsafe run (audited runs only) *)
   fine_audit : Gb_cache.Audit.summary option;
       (** same, for the fine-grained run *)
+  causes : (string * (string * float) list) list;
+      (** per mode name, the {!Gb_obs.Attrib.cause_shares} of that mode's
+          run: every cause, as a share of total cycles. [[]] when the
+          measurement ran without attribution. *)
 }
 
 val slowdown : mode_cycles -> mode:Gb_core.Mitigation.mode -> float
@@ -23,15 +27,23 @@ val slowdown : mode_cycles -> mode:Gb_core.Mitigation.mode -> float
 
 val run_workload :
   ?audit:bool ->
+  ?obs:Gb_obs.Sink.t ->
   Gb_core.Mitigation.mode ->
   Gb_kernelc.Ast.program ->
   Gb_system.Processor.result
 
 val measure_program :
-  ?audit:bool -> name:string -> Gb_kernelc.Ast.program -> mode_cycles
+  ?audit:bool ->
+  ?attrib:bool ->
+  name:string ->
+  Gb_kernelc.Ast.program ->
+  mode_cycles
 (** [audit] (default [false]) attaches the leakage audit to every mode's
     run and captures the Unsafe and Fine_grained summaries. The audit is a
-    pure observer, so the cycle counts are identical either way. *)
+    pure observer, so the cycle counts are identical either way.
+    [attrib] (default [false]) attaches a fresh cycle-attribution ledger
+    to each mode's run and fills {!mode_cycles.causes}; the conservation
+    invariant is asserted inside each run. *)
 
 (** E1 — proof of concept: per variant and mode, how much of the secret
     leaked. *)
@@ -54,9 +66,12 @@ val e1_poc_matrix :
     cache at that many bundles — the capacity-constrained re-check that
     the leakage verdicts survive eviction churn. *)
 
-val e2_figure4 : ?audit:bool -> unit -> mode_cycles list
+val e2_figure4 : ?audit:bool -> ?attrib:bool -> unit -> mode_cycles list
 (** One row per Figure-4 application: the 12 Polybench kernels plus the
-    two Spectre proof-of-concept programs. *)
+    two Spectre proof-of-concept programs. [attrib] defaults to [true]:
+    every E2 run carries the cycle-attribution ledger, so the per-cause
+    shares land in the perf manifest and the conservation invariant is
+    exercised on every workload x mode. *)
 
 val e3_fence_rows : mode_cycles list -> (string * float * int) list
 (** Per workload: fence slowdown and pattern count (derived from E2 data). *)

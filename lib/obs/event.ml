@@ -12,6 +12,10 @@ type kind =
   | Transient_line of { addr : int; set_idx : int; dependent : bool }
   | Chain of { target : int; op : [ `Link | `Follow | `Break ] }
   | Verify_violation of { kind : string; bundle : int }
+  | Cycle_attrib of { committed : int; overhead : int }
+      (** periodic sample of the attribution ledger: cumulative cycles in
+          the committed-work bucket vs everything else — rendered as a
+          committed-vs-overhead counter lane pair in the Chrome trace *)
 
 type t = { kind : kind; pc : int; region : int; cycle : int64 }
 
@@ -29,6 +33,7 @@ let name = function
   | Transient_line _ -> "transient_line"
   | Chain _ -> "chain"
   | Verify_violation _ -> "verify_violation"
+  | Cycle_attrib _ -> "cycle_attrib"
 
 let args kind =
   let module J = Gb_util.Json in
@@ -58,6 +63,8 @@ let args kind =
     [ ("target", J.Int target); ("op", J.String op) ]
   | Verify_violation { kind; bundle } ->
     [ ("kind", J.String kind); ("bundle", J.Int bundle) ]
+  | Cycle_attrib { committed; overhead } ->
+    [ ("committed", J.Int committed); ("overhead", J.Int overhead) ]
 
 let to_json t =
   let module J = Gb_util.Json in

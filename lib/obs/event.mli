@@ -42,6 +42,10 @@ type kind =
           the {!Gb_verify.Verifier.kind} name, [bundle] the cycle at
           which the offending op was scheduled. pc = the op's guest pc;
           region = the trace's entry. *)
+  | Cycle_attrib of { committed : int; overhead : int }
+      (** periodic sample of the attribution ledger: cumulative cycles in
+          the committed-work bucket vs everything else — rendered as a
+          committed-vs-overhead counter lane pair in the Chrome trace *)
 
 type t = {
   kind : kind;

@@ -115,6 +115,7 @@ type histogram_snapshot = {
   h_mean : float;
   h_p50 : float;
   h_p90 : float;
+  h_p95 : float;
   h_p99 : float;
   h_buckets : (float * int) list;
 }
@@ -135,6 +136,7 @@ let snapshot_of h =
     h_mean = (if h.count = 0 then 0. else h.sum /. float_of_int h.count);
     h_p50 = pct 0.5;
     h_p90 = pct 0.9;
+    h_p95 = pct 0.95;
     h_p99 = pct 0.99;
     h_buckets = !buckets;
   }
@@ -169,6 +171,7 @@ let to_json t =
               ("mean", J.Float s.h_mean);
               ("p50", J.Float s.h_p50);
               ("p90", J.Float s.h_p90);
+              ("p95", J.Float s.h_p95);
               ("p99", J.Float s.h_p99);
               ( "buckets",
                 J.List

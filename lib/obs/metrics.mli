@@ -47,6 +47,7 @@ type histogram_snapshot = {
   h_mean : float;
   h_p50 : float;
   h_p90 : float;
+  h_p95 : float;
   h_p99 : float;
   h_buckets : (float * int) list;
       (** (upper bound, samples <= bound in this bucket), non-empty buckets

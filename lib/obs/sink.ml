@@ -2,23 +2,29 @@ type active = {
   metrics : Metrics.t;
   events : Event.t Ring.t;
   timers : Timer.t;
+  attrib : Attrib.t option;
   mutable cycle_source : unit -> int64;
+  mutable ring_warned : bool;
 }
 
 type t = Noop | Active of active
 
 let noop = Noop
 
-let create ?(ring_capacity = 65536) ?span_capacity ?seed () =
+let create ?(ring_capacity = 65536) ?span_capacity ?seed ?(attrib = false) () =
   Active
     {
       metrics = Metrics.create ?seed ();
       events = Ring.create ring_capacity;
       timers = Timer.create ?span_capacity ();
+      attrib = (if attrib then Some (Attrib.create ()) else None);
       cycle_source = (fun () -> 0L);
+      ring_warned = false;
     }
 
 let is_active = function Noop -> false | Active _ -> true
+
+let attrib = function Noop -> None | Active a -> a.attrib
 
 let set_cycle_source t f =
   match t with Noop -> () | Active a -> a.cycle_source <- f
@@ -27,7 +33,20 @@ let event t ?(pc = 0) ?(region = 0) kind =
   match t with
   | Noop -> ()
   | Active a ->
-    Ring.push a.events { Event.kind; pc; region; cycle = a.cycle_source () }
+    Ring.push a.events { Event.kind; pc; region; cycle = a.cycle_source () };
+    (* a wrapped ring silently forgets history: count every dropped event
+       so truncated Chrome traces are detectable, and say so once *)
+    if Ring.dropped a.events > 0 then begin
+      Metrics.incr a.metrics "ring.dropped";
+      if not a.ring_warned then begin
+        a.ring_warned <- true;
+        Printf.eprintf
+          "ghostbusters: warning: event ring wrapped (capacity %d); oldest \
+           events dropped, the exported Chrome trace will be truncated\n\
+           %!"
+          (Ring.capacity a.events)
+      end
+    end
 
 let incr t ?by name =
   match t with Noop -> () | Active a -> Metrics.incr a.metrics ?by name
@@ -83,7 +102,10 @@ let metrics_json t =
 
 let trace_json t =
   match t with
-  | Noop -> Trace_export.to_json ~events:[] ~spans:[]
+  | Noop -> Trace_export.to_json ~events:[] ~spans:[] ()
   | Active a ->
-    Trace_export.to_json ~events:(Ring.to_list a.events)
+    Trace_export.to_json
+      ~dropped:(Ring.dropped a.events)
+      ~events:(Ring.to_list a.events)
       ~spans:(Timer.spans a.timers)
+      ()

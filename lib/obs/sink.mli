@@ -14,11 +14,23 @@ type t
 val noop : t
 (** Discards everything at unit cost. *)
 
-val create : ?ring_capacity:int -> ?span_capacity:int -> ?seed:int64 -> unit -> t
+val create :
+  ?ring_capacity:int ->
+  ?span_capacity:int ->
+  ?seed:int64 ->
+  ?attrib:bool ->
+  unit ->
+  t
 (** An active sink. Default ring capacity 65536 events; [seed] feeds the
-    histogram reservoirs (see {!Metrics.create}). *)
+    histogram reservoirs (see {!Metrics.create}). [attrib:true] attaches
+    a cycle-attribution ledger ({!Attrib}): the pipeline, interpreter
+    hooks and processor classify every simulated cycle into it. *)
 
 val is_active : t -> bool
+
+val attrib : t -> Attrib.t option
+(** The cycle-attribution ledger, when this sink was created with
+    [~attrib:true]. [None] on {!noop} and plain active sinks. *)
 
 val set_cycle_source : t -> (unit -> int64) -> unit
 (** Install the simulated-clock reader used to timestamp events (the

@@ -4,6 +4,8 @@ let host_pid = 2
 
 let leakage_pid = 3
 
+let attrib_pid = 4
+
 let process_meta pid name =
   let module J = Gb_util.Json in
   J.Obj
@@ -26,6 +28,25 @@ let meta_events =
    interleaved with the ordinary guest events. *)
 let is_transient (e : Event.t) =
   match e.Event.kind with Event.Transient_line _ -> true | _ -> false
+
+(* Attribution samples render as a Chrome counter track ("ph":"C"): two
+   stacked lanes, cycles doing committed work vs cycles of overhead, so
+   the speculative/mitigation cost is visible as a band over time. *)
+let is_attrib (e : Event.t) =
+  match e.Event.kind with Event.Cycle_attrib _ -> true | _ -> false
+
+let counter_event (e : Event.t) =
+  let module J = Gb_util.Json in
+  J.Obj
+    [
+      ("name", J.String "cycles (committed vs overhead)");
+      ("cat", J.String "attrib");
+      ("ph", J.String "C");
+      ("ts", J.Int (Int64.to_int e.Event.cycle));
+      ("pid", J.Int attrib_pid);
+      ("tid", J.Int 0);
+      ("args", J.Obj (Event.args e.Event.kind));
+    ]
 
 (* One track per region keeps a region's translate/rollback/miss history
    on its own horizontal line. tid 0 is reserved for unattributed events. *)
@@ -81,24 +102,34 @@ let host_span (s : Timer.span) =
       ("tid", J.Int 1);
     ]
 
-let to_json ~events ~spans =
+let to_json ?(dropped = 0) ~events ~spans () =
   let module J = Gb_util.Json in
-  let transient, ordinary = List.partition is_transient events in
+  let transient, rest = List.partition is_transient events in
+  let attrib, ordinary = List.partition is_attrib rest in
   let leakage_meta =
     if transient = [] then []
     else
       process_meta leakage_pid "leakage (transient cache lines)"
       :: thread_name_events ~pid:leakage_pid transient
   in
+  let attrib_meta =
+    if attrib = [] then []
+    else [ process_meta attrib_pid "cycle attribution (committed vs overhead)" ]
+  in
   J.Obj
-    [
-      ( "traceEvents",
-        J.List
-          (meta_events
-          @ leakage_meta
-          @ thread_name_events ~pid:guest_pid ordinary
-          @ List.map (guest_event ~pid:guest_pid) ordinary
-          @ List.map (guest_event ~pid:leakage_pid) transient
-          @ List.map host_span spans) );
-      ("displayTimeUnit", J.String "ms");
-    ]
+    ([
+       ( "traceEvents",
+         J.List
+           (meta_events
+           @ leakage_meta
+           @ attrib_meta
+           @ thread_name_events ~pid:guest_pid ordinary
+           @ List.map (guest_event ~pid:guest_pid) ordinary
+           @ List.map (guest_event ~pid:leakage_pid) transient
+           @ List.map counter_event attrib
+           @ List.map host_span spans) );
+       ("displayTimeUnit", J.String "ms");
+     ]
+    (* the ring wrapped: record how many events this trace is missing so
+       a truncated export is self-describing *)
+    @ if dropped > 0 then [ ("droppedEvents", J.Int dropped) ] else [])

@@ -9,8 +9,17 @@
       track.
     - pid 2, "dbt-host": the wall-clock phase spans of the DBT software
       layer as complete ("X") events in real microseconds since sink
-      creation. *)
+      creation.
+    - pid 3, "leakage": transient cache lines found by the leakage audit.
+    - pid 4, "cycle attribution": {!Event.Cycle_attrib} samples as a
+      counter ("C") track — a committed-vs-overhead cycle lane pair. *)
 
 val to_json :
-  events:Event.t list -> spans:Timer.span list -> Gb_util.Json.t
-(** [{"traceEvents": [...], "displayTimeUnit": "ms", ...}]. *)
+  ?dropped:int ->
+  events:Event.t list ->
+  spans:Timer.span list ->
+  unit ->
+  Gb_util.Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms", ...}]. [dropped > 0]
+    (events lost to ring wrap-around) adds a top-level ["droppedEvents"]
+    count so truncated traces are self-describing. *)

@@ -1,6 +1,8 @@
-type direction = Lower_better of float | Exact | Info
+type direction = Lower_better of float | Band of float | Exact | Info
 
 let default_tol_cycles = 0.01
+
+let default_band_share = 0.02
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix
@@ -13,6 +15,7 @@ let rule_for ?(tol_cycles = default_tol_cycles) name =
     || has_prefix ~prefix:"exits_per_1k." name
   then Lower_better tol_cycles
   else if has_prefix ~prefix:"audit_fn." name then Lower_better 0.
+  else if has_prefix ~prefix:"cause_share." name then Band default_band_share
   else Info
 
 type status = Improved | Unchanged | Regressed | Added | Removed
@@ -59,6 +62,12 @@ let judge rule ~base ~cur =
   match rule with
   | Info -> (delta, Unchanged)
   | Exact -> (delta, if cur = base then Unchanged else Regressed)
+  | Band tol ->
+    (* two-sided absolute band: cause shares live in [0,1], so an
+       absolute drift bound is the meaningful one — a cause share moving
+       by more than [tol] either way means the attribution profile
+       changed and must be looked at *)
+    (delta, if Float.abs (cur -. base) <= tol then Unchanged else Regressed)
   | Lower_better tol ->
     ( delta,
       if base = cur then Unchanged

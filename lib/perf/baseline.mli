@@ -13,6 +13,10 @@ type direction =
   | Lower_better of float
       (** regression when [cur > base * (1 + tol)]; the payload is the
           relative tolerance (0 means exact: any increase regresses) *)
+  | Band of float
+      (** two-sided absolute band: regression when
+          [|cur - base| > tol], either direction (cause shares: any
+          drift of the attribution profile needs a look) *)
   | Exact  (** any change, either way, is a regression (verdict cells) *)
   | Info  (** tracked and reported, never gated *)
 
@@ -20,13 +24,18 @@ val rule_for : ?tol_cycles:float -> string -> direction
 (** The rule a metric name dispatches to (see the naming convention in
     {!Manifest}): [cycles.*], [slowdown.*] and [exits_per_1k.*] are
     [Lower_better tol_cycles] (default tolerance {!default_tol_cycles});
-    [audit_fn.*] is [Lower_better 0.]; [counter.*], [faults.*] and
-    anything unrecognised are [Info]. *)
+    [audit_fn.*] is [Lower_better 0.]; [cause_share.*] is
+    [Band default_band_share]; [counter.*], [faults.*] and anything
+    unrecognised are [Info]. *)
 
 val default_tol_cycles : float
 (** 0.01 — the simulator is deterministic, so 1% headroom only absorbs
     intentional noise (e.g. a changed instrumented-run shape), not real
     regressions. *)
+
+val default_band_share : float
+(** 0.02 — two percentage points of absolute drift allowed per cause
+    share before the attribution gate trips. *)
 
 type status = Improved | Unchanged | Regressed | Added | Removed
 

@@ -68,6 +68,21 @@ let mode_cycles_cells ~exp (mc : E.mode_cycles) =
         (Gb_core.Mitigation.Fine_grained, mc.E.fine_audit);
       ]
 
+(* per-cause cycle shares of one measured workload (attributed runs
+   only): [cause_share.EXP.KERNEL.MODE.CAUSE]. All nine causes are
+   always present for an attributed run, so the coverage is stable and
+   the strict gate's Removed check bites if attribution is lost. *)
+let cause_cells ~exp (mc : E.mode_cycles) =
+  List.concat_map
+    (fun (mode, shares) ->
+      List.map
+        (fun (cause, share) ->
+          ( Printf.sprintf "cause_share.%s.%s.%s.%s" exp mc.E.w_name mode
+              cause,
+            share ))
+        shares)
+    mc.E.causes
+
 let poc_cells (poc : E.poc_row list) =
   List.concat_map
     (fun (r : E.poc_row) ->
@@ -174,6 +189,7 @@ let of_data ?seq ?rev ?(seed = 1L) ?(counters = []) ?verdicts_unchanged ?e9
   let metrics =
     poc_cells poc
     @ List.concat_map (mode_cycles_cells ~exp:"e2") figure4
+    @ List.concat_map (cause_cells ~exp:"e2") figure4
     @ geomean_cells figure4
     @ mode_cycles_cells ~exp:"e4" e4
     @ chaining_cells chaining

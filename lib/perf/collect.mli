@@ -35,7 +35,8 @@ val of_data :
     - [poc] (E1) — [cycles.e1.*] per variant and mode, [audit_fn.e1.*]
       for audited rows, [e1.<variant>.<mode>.leaked] verdicts;
     - [figure4] (E2) — [cycles.e2.*] and [slowdown.e2.*] per kernel and
-      mode, geomean slowdowns, [audit_fn.e2.*];
+      mode, geomean slowdowns, [audit_fn.e2.*], and for attributed rows
+      the [cause_share.e2.*] cycle-attribution profile;
     - [e4] — same cells under the [e4] prefix;
     - [chaining] (E8) — [exits_per_1k.e8.<kernel>.{chain,nochain}] and
       the cycle/architecture-identity verdicts;

@@ -21,6 +21,10 @@
       cell that guards the trace-chaining wins);
     - [audit_fn.<exp>.<kernel>.<mode>] — leakage-audit false negatives
       (lower is better, zero tolerance);
+    - [cause_share.<exp>.<kernel>.<mode>.<cause>] — the
+      {!Gb_obs.Attrib} cycle-attribution profile: each cause's share of
+      the run's total cycles (two-sided absolute band: drift either way
+      beyond the band is a regression);
     - [counter.<name>] — raw [Gb_obs] counters of the canonical
       instrumented run (informational: reported, never gated);
     - [faults.<...>] — fault-injection accounting (informational).

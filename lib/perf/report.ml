@@ -27,6 +27,7 @@ let fmt_delta c =
 let rule_name = function
   | Lower_better 0. -> "lower/exact"
   | Lower_better tol -> Printf.sprintf "lower/%.1f%%" (100. *. tol)
+  | Band tol -> Printf.sprintf "band/%.1fpp" (100. *. tol)
   | Exact -> "exact"
   | Info -> "info"
 

@@ -56,6 +56,8 @@ type t = {
   machine : Gb_vliw.Machine.t;
   engine : Gb_dbt.Engine.t;
   obs : Gb_obs.Sink.t;
+  attrib : Gb_obs.Attrib.t option;
+      (** the sink's cycle-attribution ledger, cached off the hot loop *)
   audit : Gb_cache.Audit.t option;
   inject : Inject.t option;
   dispatch_exits : int64 ref;
@@ -134,6 +136,10 @@ let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop)
   regs.(Gb_riscv.Reg.sp) <- Gb_riscv.Interp.default_sp mem;
   (* Interpreter accesses are architectural by definition: they mirror
      straight into the audit's shadow cache. *)
+  let attrib = Gb_obs.Sink.attrib obs in
+  (* the memory hook needs the interpreter's current pc to attribute its
+     cost, but the interpreter is built from these hooks — box it *)
+  let interp_box = ref None in
   let hooks =
     {
       Gb_riscv.Interp.mem_extra =
@@ -142,7 +148,22 @@ let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop)
           (match audit with
           | Some a -> Gb_cache.Audit.commit_access a ~addr ~size ~write
           | None -> ());
-          Gb_cache.Hierarchy.interp_cost hier ~hit);
+          let cost = Gb_cache.Hierarchy.interp_cost hier ~hit in
+          (match attrib with
+          | Some a ->
+            let pc =
+              match !interp_box with
+              | Some (i : Gb_riscv.Interp.t) -> i.Gb_riscv.Interp.pc
+              | None -> 0
+            in
+            (* a hit's extra cycle is interpretation cost; a miss penalty
+               is the memory system's, same bucket as VLIW-side misses *)
+            Gb_obs.Attrib.add_cycles a
+              (if hit then Gb_obs.Attrib.Interp_fallback
+               else Gb_obs.Attrib.Cache_miss_stall)
+              ~tier:Gb_obs.Attrib.Interp ~trace:0 ~pc ~cycles:cost
+          | None -> ());
+          cost);
       flush_line =
         (fun addr ->
           Gb_cache.Hierarchy.flush_line hier addr;
@@ -155,6 +176,7 @@ let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop)
     Gb_riscv.Interp.create ~hooks ~clock ~regs ~mem
       ~pc:program.Gb_riscv.Asm.entry ()
   in
+  interp_box := Some interp;
   (* one knob: the engine's code-cache config decides whether chaining
      exists at all; the machine merely follows links that were patched *)
   let machine_cfg =
@@ -247,8 +269,8 @@ let create ?(config = default_config) ?(obs = Gb_obs.Sink.noop)
           chain_dead_end := true;
           None));
   {
-    cfg = config; mem; clock; hier; interp; machine; engine; obs; audit;
-    inject; dispatch_exits = ref 0L; chain_dead_end; on_trace_exit;
+    cfg = config; mem; clock; hier; interp; machine; engine; obs; attrib;
+    audit; inject; dispatch_exits = ref 0L; chain_dead_end; on_trace_exit;
   }
 
 let mem t = t.mem
@@ -269,7 +291,24 @@ let inject t = t.inject
 
 let set_on_trace_exit t f = t.on_trace_exit := f
 
+let emit_attrib_sample t =
+  match t.attrib with
+  | Some a ->
+    let committed, overhead = Gb_obs.Attrib.sample_cycles a in
+    Gb_obs.Sink.event t.obs (Gb_obs.Event.Cycle_attrib { committed; overhead })
+  | None -> ()
+
 let result_of t exit_code =
+  (* the ledger's hard invariant: every simulated cycle is attributed,
+     none twice — sum(buckets) must equal the clock, exactly *)
+  (match t.attrib with
+  | Some a -> (
+    emit_attrib_sample t;
+    match Gb_obs.Attrib.check a ~cycles:!(t.clock) with
+    | Ok () -> ()
+    | Error msg ->
+      failwith ("cycle attribution conservation violated: " ^ msg))
+  | None -> ());
   let ms = t.machine.Gb_vliw.Machine.stats in
   let es = Gb_dbt.Engine.stats t.engine in
   {
@@ -324,6 +363,10 @@ let run t =
       t.interp.Gb_riscv.Interp.pc <- info.Gb_vliw.Pipeline.next_pc;
       t.dispatch_exits := Int64.add !(t.dispatch_exits) 1L;
       Gb_obs.Sink.incr t.obs "processor.dispatch_exits";
+      (* periodic committed-vs-overhead sample for the Chrome trace's
+         attribution counter lanes *)
+      if t.attrib <> None && Int64.rem !(t.dispatch_exits) 256L = 1L then
+        emit_attrib_sample t;
       (* with chaining, the final exit may come from a different trace
          than the one dispatched; intermediate exits were already
          recorded by the on_chain resolver — and so was this one, iff
@@ -349,6 +392,14 @@ let run t =
       loop ()
     | None -> (
       let si = Gb_riscv.Interp.step t.interp in
+      (* the step's memory cost was attributed by the mem_extra hook;
+         the base cycle of interpreting the insn lands here *)
+      (match t.attrib with
+      | Some a ->
+        Gb_obs.Attrib.add_cycles a Gb_obs.Attrib.Interp_fallback
+          ~tier:Gb_obs.Attrib.Interp ~trace:0 ~pc:si.Gb_riscv.Interp.s_pc
+          ~cycles:1
+      | None -> ());
       (match (si.Gb_riscv.Interp.s_insn, si.Gb_riscv.Interp.s_taken) with
       | Gb_riscv.Insn.Branch _, Some taken ->
         Gb_dbt.Engine.record_branch engine ~pc:si.Gb_riscv.Interp.s_pc ~taken

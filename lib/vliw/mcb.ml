@@ -43,7 +43,7 @@ let alloc t ~tag ~addr ~size =
 
 let overlap a1 s1 a2 s2 = a1 < a2 + s2 && a2 < a1 + s1
 
-let store_probe t ~addr ~size =
+let store_probe t ?(pc = 0) ~addr ~size () =
   for tag = 0 to Array.length t.addrs - 1 do
     if t.live.(tag) && not t.conflict.(tag)
        && overlap addr size t.addrs.(tag) t.sizes.(tag)
@@ -52,7 +52,12 @@ let store_probe t ~addr ~size =
       t.total_conflicts <- t.total_conflicts + 1;
       if Gb_obs.Sink.is_active t.obs then begin
         Gb_obs.Sink.incr t.obs "vliw.mcb_conflicts";
-        Gb_obs.Sink.event t.obs ~pc:addr (Gb_obs.Event.Mcb_conflict { addr })
+        Gb_obs.Sink.event t.obs ~pc:addr (Gb_obs.Event.Mcb_conflict { addr });
+        (* remember which store pc flagged the conflict: the attribution
+           report ties rollback cycles back to the stores causing them *)
+        match Gb_obs.Sink.attrib t.obs with
+        | Some a -> Gb_obs.Attrib.note_conflict a ~pc
+        | None -> ()
       end
     end
   done

@@ -34,7 +34,7 @@ val alloc : t -> tag:int -> addr:int -> size:int -> unit
     conflict bit. Out-of-range tags (always the case when disabled) are
     ignored. *)
 
-val store_probe : t -> addr:int -> size:int -> unit
+val store_probe : t -> ?pc:int -> addr:int -> size:int -> unit -> unit
 (** Called by every store: marks every live entry overlapping the range. *)
 
 val check : t -> tag:int -> bool

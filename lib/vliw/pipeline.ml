@@ -15,6 +15,40 @@ let eval regs = function
   | Vinsn.R r -> if r = 0 then 0L else regs.(r)
   | Vinsn.I v -> v
 
+(* Attribute the one issue cycle of a bundle at slot granularity: each of
+   the [width] slots owns [scale / width] fixed-point units. Useful ops
+   are committed work; Fence slots are fence stalls when the mitigation
+   inserted fences into this trace (a guest's own architectural fences
+   are work, not mitigation cost); Nop slots are lost ILP — issue bubbles
+   from schedule gaps or serialization — except in a fenced bundle of a
+   mitigated trace, where the fence itself forced the bubble. The split
+   is exact for every width dividing {!Gb_obs.Attrib.scale} (all widths
+   up to 16); any remainder units go to committed work so conservation
+   stays an integer identity. *)
+let attribute_bundle a ~mitigated ~width ~pc bundle =
+  let fences = ref 0 and nops = ref 0 in
+  Array.iter
+    (fun op ->
+      match op with
+      | Vinsn.Fence -> incr fences
+      | Vinsn.Nop -> incr nops
+      | _ -> ())
+    bundle;
+  let module At = Gb_obs.Attrib in
+  let per_slot = At.scale / width in
+  let rem = At.scale - (per_slot * width) in
+  let useful = width - !fences - !nops in
+  let committed, fence_stall, lost_ilp =
+    if mitigated && !fences > 0 then
+      (* the mitigation fenced this bundle: the fence slots and the
+         bubbles it forces alongside are both fence cost *)
+      (useful, !fences + !nops, 0)
+    else (useful + !fences, 0, !nops)
+  in
+  At.add_here a At.Committed_work ~pc ~units:((committed * per_slot) + rem);
+  At.add_here a At.Fence_stall ~pc ~units:(fence_stall * per_slot);
+  At.add_here a At.Nospec_serialization ~pc ~units:(lost_ilp * per_slot)
+
 (* Execute one pass over a trace. The mutable per-cycle state is kept in
    local refs; register writes are buffered and applied at end of cycle to
    get the parallel-read semantics right. *)
@@ -27,6 +61,14 @@ let run_one (m : Machine.t) (trace : Vinsn.trace) =
     if Array.length trace.bundles = 0 then 1
     else Array.length trace.bundles.(0)
   in
+  let attrib = Gb_obs.Sink.attrib m.obs in
+  (* mitigation-inserted fences mark this translation's Fence/Nop slots
+     as mitigation cost; a trace the mitigation never touched charges its
+     fences (the guest's own) to committed work *)
+  let mitigated = trace.meta.fences_inserted > 0 in
+  (match attrib with
+  | Some a -> Gb_obs.Attrib.enter a ~entry:trace.entry_pc
+  | None -> ());
   Mcb.clear m.mcb;
   m.stats.trace_runs <- Int64.add m.stats.trace_runs 1L;
   m.stats.guest_insns <-
@@ -76,10 +118,17 @@ let run_one (m : Machine.t) (trace : Vinsn.trace) =
       Gb_riscv.Mem.load m.mem ~addr ~size
     else 0L
   in
-  let touch_cache ~addr ~size ~write =
+  let touch_cache ~pc ~addr ~size ~write =
     if addr >= 0 then begin
       let hit = Gb_cache.Hierarchy.access m.hier ~addr ~size ~write in
-      stall := !stall + Gb_cache.Hierarchy.vliw_cost m.hier ~hit
+      let cost = Gb_cache.Hierarchy.vliw_cost m.hier ~hit in
+      stall := !stall + cost;
+      if cost > 0 then
+        match attrib with
+        | Some a ->
+          Gb_obs.Attrib.add_here_cycles a Gb_obs.Attrib.Cache_miss_stall ~pc
+            ~cycles:cost
+        | None -> ()
     end
   in
   let exec_op clock_now op =
@@ -99,7 +148,7 @@ let run_one (m : Machine.t) (trace : Vinsn.trace) =
       let size = Gb_riscv.Interp.width_bytes w in
       let raw = load_value ~addr ~size in
       let v = if unsigned then raw else Gb_riscv.Interp.sign_of_width w raw in
-      touch_cache ~addr ~size ~write:false;
+      touch_cache ~pc ~addr ~size ~write:false;
       (match spec with
       | Some tag -> Mcb.alloc m.mcb ~tag ~addr ~size
       | None -> ());
@@ -114,8 +163,8 @@ let run_one (m : Machine.t) (trace : Vinsn.trace) =
       let addr = Int64.to_int (Int64.add (eval m.regs base) (Int64.of_int off)) in
       let size = Gb_riscv.Interp.width_bytes w in
       Gb_riscv.Mem.store m.mem ~addr ~size (eval m.regs src);
-      touch_cache ~addr ~size ~write:true;
-      Mcb.store_probe m.mcb ~addr ~size;
+      touch_cache ~pc ~addr ~size ~write:true;
+      Mcb.store_probe m.mcb ~pc ~addr ~size ();
       (match m.audit with
       | Some a when addr >= 0 ->
         Gb_cache.Audit.run_access a ~id ~pc ~addr ~size ~write:true
@@ -157,6 +206,19 @@ let run_one (m : Machine.t) (trace : Vinsn.trace) =
       | Side_exit | Rollback -> m.cfg.exit_penalty
     in
     m.clock := Int64.add !(m.clock) (Int64.of_int (commit_cycles + penalty));
+    (match attrib with
+    | Some a ->
+      let module At = Gb_obs.Attrib in
+      if commit_cycles > 0 then
+        At.add_here_cycles a At.Committed_work ~pc:trace.entry_pc
+          ~cycles:commit_cycles;
+      if penalty > 0 then
+        (* a chained transfer reclassifies this to Chain_transfer in
+           [run] below, once the link is known to be followed *)
+        At.add_here_cycles a
+          (match kind with Rollback -> At.Mcb_rollback | _ -> At.Dispatcher_exit)
+          ~pc:stub.target_pc ~cycles:penalty
+    | None -> ());
     (match kind with
     | Side_exit -> m.stats.side_exits <- Int64.add m.stats.side_exits 1L
     | Rollback -> m.stats.rollbacks <- Int64.add m.stats.rollbacks 1L
@@ -193,6 +255,11 @@ let run_one (m : Machine.t) (trace : Vinsn.trace) =
       m.stats.bundles <- Int64.add m.stats.bundles 1L;
       m.stats.stall_cycles <- Int64.add m.stats.stall_cycles (Int64.of_int !stall);
       m.clock := Int64.add !(m.clock) (Int64.of_int (1 + !stall));
+      (* the cache-miss part of this advance was attributed op-by-op in
+         touch_cache; the one issue cycle splits across the slots here *)
+      (match attrib with
+      | Some a -> attribute_bundle a ~mitigated ~width ~pc:trace.entry_pc bundle
+      | None -> ());
       match !taken_stub with
       | Some (stub, kind) -> finish ~bundle_idx:i stub kind
       | None -> cycle (i + 1)
@@ -232,6 +299,15 @@ let run (m : Machine.t) (trace : Vinsn.trace) =
           match m.on_chain info with
           | None -> info
           | Some next ->
+            (* the exit penalty just booked as Dispatcher_exit was in
+               fact paid transferring along the chain — reclassify it
+               under the same key while the exiting trace is current *)
+            (match Gb_obs.Sink.attrib m.obs with
+            | Some a when info.kind = Side_exit && m.cfg.exit_penalty > 0 ->
+              Gb_obs.Attrib.transfer a ~from_:Gb_obs.Attrib.Dispatcher_exit
+                ~to_:Gb_obs.Attrib.Chain_transfer ~pc:info.next_pc
+                ~cycles:m.cfg.exit_penalty
+            | _ -> ());
             m.stats.chain_follows <- Int64.add m.stats.chain_follows 1L;
             if Gb_obs.Sink.is_active m.obs then begin
               Gb_obs.Sink.incr m.obs "code_cache.chain_follows";

@@ -303,7 +303,7 @@ let subword_memory_ops () =
 let mcb_tag_reuse () =
   let mcb = Gb_vliw.Mcb.create ~entries:4 () in
   Gb_vliw.Mcb.alloc mcb ~tag:1 ~addr:100 ~size:8;
-  Gb_vliw.Mcb.store_probe mcb ~addr:104 ~size:1;
+  Gb_vliw.Mcb.store_probe mcb ~addr:104 ~size:1 ();
   Alcotest.(check bool) "conflict" true (Gb_vliw.Mcb.check mcb ~tag:1);
   (* entry consumed: checking again reports no conflict *)
   Alcotest.(check bool) "consumed" false (Gb_vliw.Mcb.check mcb ~tag:1);
@@ -318,7 +318,7 @@ let mcb_disabled () =
   Alcotest.(check bool) "disabled" false (Gb_vliw.Mcb.enabled mcb);
   Alcotest.(check int) "entries" 0 (Gb_vliw.Mcb.entries mcb);
   Gb_vliw.Mcb.alloc mcb ~tag:0 ~addr:100 ~size:8;
-  Gb_vliw.Mcb.store_probe mcb ~addr:100 ~size:8;
+  Gb_vliw.Mcb.store_probe mcb ~addr:100 ~size:8 ();
   Alcotest.(check bool) "no conflict" false (Gb_vliw.Mcb.check mcb ~tag:0);
   Gb_vliw.Mcb.clear mcb;
   Alcotest.(check int) "no conflicts recorded" 0
@@ -336,14 +336,14 @@ let mcb_fault_hook () =
     (Gb_vliw.Mcb.check mcb ~tag:2);
   (* suppress: hide a real conflict *)
   Gb_vliw.Mcb.alloc mcb ~tag:2 ~addr:100 ~size:8;
-  Gb_vliw.Mcb.store_probe mcb ~addr:100 ~size:8;
+  Gb_vliw.Mcb.store_probe mcb ~addr:100 ~size:8 ();
   Gb_vliw.Mcb.set_fault_hook mcb (Some (fun ~tag:_ ~conflict:_ -> false));
   Alcotest.(check bool) "suppressed conflict" false
     (Gb_vliw.Mcb.check mcb ~tag:2);
   (* removing the hook restores normal behaviour *)
   Gb_vliw.Mcb.set_fault_hook mcb None;
   Gb_vliw.Mcb.alloc mcb ~tag:3 ~addr:200 ~size:8;
-  Gb_vliw.Mcb.store_probe mcb ~addr:200 ~size:8;
+  Gb_vliw.Mcb.store_probe mcb ~addr:200 ~size:8 ();
   Alcotest.(check bool) "hook removed" true (Gb_vliw.Mcb.check mcb ~tag:3)
 
 let () =
