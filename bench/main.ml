@@ -87,9 +87,9 @@ let top_overhead_cause (mc : Gb_experiments.Experiments.mode_cycles) =
       Printf.sprintf "%s %.0f%%" cause (100. *. share)
     | _ -> "-")
 
-let e2 () =
+let e2 ~workers () =
   print_header "E2: Figure 4 - slowdown vs unsafe execution (lower is better)";
-  let data = Gb_experiments.Experiments.e2_figure4 ~audit:true () in
+  let data = Gb_experiments.Experiments.e2_figure4 ~audit:true ~workers () in
   let rows =
     List.map
       (fun (mc : Gb_experiments.Experiments.mode_cycles) ->
@@ -370,11 +370,11 @@ let e9 () =
      precision below 1.0 is the price of static over-approximation.\n";
   data
 
-let e10 ~seed () =
+let e10 ~seed ~workers () =
   print_header
     "E10: differential gate (reference interpreter vs DBT, with fault \
      injection)";
-  let m = Gb_diff.Matrix.run ~seed () in
+  let m = Gb_diff.Matrix.run ~seed ~workers () in
   (* one line per workload: worst case across modes and inject variants *)
   let by_workload = Hashtbl.create 32 in
   List.iter
@@ -605,6 +605,28 @@ let () =
         Printf.eprintf "bench: --seed expects an integer, got %S\n" s;
         exit 1)
   in
+  (* shards E2 and E10 across domains; every number in every table and
+     JSON file is identical for any value (see docs/CONCURRENCY.md) *)
+  let workers =
+    match flag_value "--workers" with
+    | None -> Gb_dbt.Workers.env_default ()
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> n
+      | Some _ | None ->
+        Printf.eprintf "bench: --workers expects a non-negative integer, \
+                        got %S\n" s;
+        exit 1)
+  in
+  if workers > 0 then
+    if Gb_dbt.Workers.available () then
+      Printf.eprintf "bench: sharding E2/E10 across %d worker domains\n%!"
+        workers
+    else
+      Printf.eprintf
+        "bench: --workers %d requested but the host has no spare cores; \
+         running serially (results are identical either way)\n%!"
+        workers;
   Option.iter
     (fun prefix ->
       let perf, leakage, chaining, verify, diff, manifest =
@@ -634,7 +656,7 @@ let () =
      (paper: S. Rokicki, \"GhostBusters: Mitigating Spectre Attacks on a\n\
      DBT-Based Processor\", DATE 2020)\n";
   let poc = e1 ~seed () in
-  let data = e2 () in
+  let data = e2 ~workers () in
   e3 data;
   let e4_mc = e4 () in
   e5 ();
@@ -653,7 +675,7 @@ let () =
       "\nE1 leakage matrix and audit FN counts unchanged under the \
        capacity-constrained cache.\n";
   let verify_data = e9 () in
-  let diff_data = e10 ~seed () in
+  let diff_data = e10 ~seed ~workers () in
   let counters = metrics_snapshot ~seed () in
   if not no_micro then micro ();
   Option.iter

@@ -21,7 +21,18 @@
 
     Eviction, invalidation and replacement all sever the affected links
     (in both directions) before the entry is dropped, so the pipeline can
-    never chain into evicted or stale code. *)
+    never chain into evicted or stale code.
+
+    {1 Domain safety}
+
+    Every public operation takes the cache's internal mutex, so installs,
+    lookups, links and invalidations may race from any domain. The
+    installation protocol for code produced off the owning domain is
+    generation-tagged: capture {!generation} when the translation is
+    planned, then {!insert_tagged} with it — the install is refused
+    ([None]) if the pc was invalidated after that generation, so a
+    translation planned against state that has since been invalidated can
+    never resurrect stale code. See docs/CONCURRENCY.md. *)
 
 type tier =
   | Block  (** first-pass, one-op-per-bundle, non-speculative *)
@@ -100,6 +111,26 @@ val insert : t -> pc:int -> tier:tier -> mode:code_mode -> Gb_vliw.Vinsn.trace -
     existing entry at the same pc (tier promotion, retranslation) is
     replaced: unlinked and freed, but neither counted as an eviction nor
     reported to the [on_evict] hook. *)
+
+val generation : t -> int
+(** The cache-wide mutation generation: bumped by every install {e and}
+    every removal (invalidation, eviction, same-pc replacement). Capture
+    it before planning a translation off-path; pass it to
+    {!insert_tagged}. *)
+
+val insert_tagged :
+  t ->
+  gen:int ->
+  pc:int ->
+  tier:tier ->
+  mode:code_mode ->
+  Gb_vliw.Vinsn.trace ->
+  entry option
+(** Like {!insert}, but refuses ([None], installing nothing) when the pc
+    was invalidated, evicted or replaced {e after} generation [gen] —
+    i.e. when the state the translation was planned against is no longer
+    current. The check and the install are one atomic step under the
+    cache lock. *)
 
 val invalidate : t -> int -> unit
 (** Drop the entry at a pc, severing its chain links in both directions.

@@ -48,12 +48,25 @@ type config = {
       (** capacity budget and chaining switch of the code cache the
           engine installs translations into *)
   verify : verify_level;  (** install-time translation verification *)
+  workers : int;
+      (** translation worker domains (0 = fully synchronous). When
+          positive, the engine prefetches translations: a few arrivals
+          before the hot threshold it freezes an immutable plan of the
+          region and runs the whole backend (IR build, mitigation,
+          scheduling, codegen, verification) on a shared {!Workers} pool;
+          at the hot threshold it re-plans authoritatively and uses the
+          prefetched result iff the plans are structurally equal, else
+          translates synchronously. Pure wall-clock optimisation:
+          simulated cycle counts, audit verdicts, events and all
+          deterministic counters are bit-identical for every value —
+          the determinism argument is laid out in docs/CONCURRENCY.md. *)
 }
 
 val default_config : config
 (** First-pass threshold 4, hot threshold 24, [Unsafe] mode, default
     resources/latencies, 96 hidden registers,
-    {!Code_cache.default_config}. *)
+    {!Code_cache.default_config}; [workers] from the
+    [GHOSTBUSTERS_WORKERS] environment variable (0 when unset). *)
 
 type stats = {
   mutable retranslations : int;

@@ -1,0 +1,199 @@
+(* A hand-rolled domain pool (no external dependency): one global queue
+   of packed jobs, worker domains blocked on a condition variable, and
+   work-stealing futures so that awaiting never deadlocks and a full
+   queue degrades to inline execution. *)
+
+type pool = {
+  m : Mutex.t;
+  nonempty : Condition.t;  (* signalled when a job is enqueued *)
+  completed : Condition.t;  (* broadcast when any job finishes *)
+  queue : job Queue.t;
+  queue_cap : int;
+  mutable domains : unit Domain.t list;
+  mutable shutdown : bool;
+}
+
+and job = Job : 'a future -> job
+
+and 'a future = {
+  fpool : pool;
+  run : unit -> 'a;
+  mutable st : 'a state;
+  mutable was_stolen : bool;
+}
+
+(* Queued: still in the queue, claimable by a worker or a stealing
+   awaiter. Claimed: some domain is running it. The queue may retain a
+   Job whose future was already claimed by a stealer; workers skip it. *)
+and 'a state = Queued | Claimed | Done of ('a, exn) result
+
+let finish (type a) p (f : a future) (r : (a, exn) result) =
+  Mutex.lock p.m;
+  f.st <- Done r;
+  Condition.broadcast p.completed;
+  Mutex.unlock p.m
+
+let worker_loop p =
+  let rec next () =
+    (* invariant: p.m held here *)
+    if p.shutdown then Mutex.unlock p.m
+    else
+      match Queue.take_opt p.queue with
+      | None ->
+        Condition.wait p.nonempty p.m;
+        next ()
+      | Some (Job f) -> (
+        match f.st with
+        | Claimed | Done _ -> next () (* stolen while queued; skip *)
+        | Queued ->
+          f.st <- Claimed;
+          Mutex.unlock p.m;
+          let r = try Ok (f.run ()) with e -> Error e in
+          finish p f r;
+          Mutex.lock p.m;
+          next ())
+  in
+  Mutex.lock p.m;
+  next ()
+
+let max_workers = 16
+
+(* Leave one hardware thread for the owner domain: spawning more
+   domains than cores is never faster under OCaml 5's stop-the-world
+   minor collections (every domain must reach a safepoint for each
+   minor GC, so oversubscription turns collections into scheduling
+   stalls). Pool size only affects host wall-clock, never simulated
+   results, so clamping here is invisible to every caller. *)
+let hw_cap = lazy (max 1 (Domain.recommended_domain_count () - 1))
+
+(* No second hardware thread: fanning out cannot overlap anything and
+   every domain still pays the cross-domain GC synchronisation. *)
+let single_core = lazy (Domain.recommended_domain_count () <= 1)
+
+let spawn p n =
+  p.domains <-
+    List.init n (fun _ -> Domain.spawn (fun () -> worker_loop p)) @ p.domains
+
+let shutdown_pool p =
+  Mutex.lock p.m;
+  p.shutdown <- true;
+  Condition.broadcast p.nonempty;
+  Mutex.unlock p.m;
+  List.iter Domain.join p.domains;
+  p.domains <- []
+
+let global : pool option ref = ref None
+
+let global_m = Mutex.create ()
+
+let ensure n =
+  let n = max 1 (min n (min max_workers (Lazy.force hw_cap))) in
+  Mutex.lock global_m;
+  let p =
+    match !global with
+    | Some p ->
+      let cur = List.length p.domains in
+      if cur < n then spawn p (n - cur);
+      p
+    | None ->
+      let p =
+        {
+          m = Mutex.create ();
+          nonempty = Condition.create ();
+          completed = Condition.create ();
+          queue = Queue.create ();
+          queue_cap = 256;
+          domains = [];
+          shutdown = false;
+        }
+      in
+      spawn p n;
+      global := Some p;
+      at_exit (fun () -> shutdown_pool p);
+      p
+  in
+  Mutex.unlock global_m;
+  p
+
+let available () = not (Lazy.force single_core)
+
+let env_default () =
+  match Sys.getenv_opt "GHOSTBUSTERS_WORKERS" with
+  | None -> 0
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> 0)
+
+(* Jobs still claimable from the queue. Stealers leave their stale
+   [Job] behind (Queue.t has no mid-queue removal), so [Queue.length]
+   overcounts; the fold is O(cap) and the cap is small. Lock held. *)
+let live_count p =
+  Queue.fold
+    (fun acc (Job f) ->
+      match f.st with Queued -> acc + 1 | Claimed | Done _ -> acc)
+    0 p.queue
+
+let enqueue p run =
+  let f = { fpool = p; run; st = Queued; was_stolen = false } in
+  Queue.add (Job f) p.queue;
+  Condition.signal p.nonempty;
+  f
+
+let try_submit p run =
+  Mutex.lock p.m;
+  if live_count p >= p.queue_cap then begin
+    Mutex.unlock p.m;
+    None
+  end
+  else begin
+    let f = enqueue p run in
+    Mutex.unlock p.m;
+    Some f
+  end
+
+let submit p run =
+  Mutex.lock p.m;
+  let f = enqueue p run in
+  Mutex.unlock p.m;
+  f
+
+let await f =
+  let p = f.fpool in
+  Mutex.lock p.m;
+  (match f.st with
+  | Queued ->
+    (* steal: run it right here; the queue's stale Job is skipped *)
+    f.st <- Claimed;
+    f.was_stolen <- true;
+    Mutex.unlock p.m;
+    let r = try Ok (f.run ()) with e -> Error e in
+    finish p f r;
+    Mutex.lock p.m
+  | Claimed | Done _ -> ());
+  let rec wait () =
+    match f.st with
+    | Done r ->
+      Mutex.unlock p.m;
+      (match r with Ok v -> v | Error e -> raise e)
+    | Queued | Claimed ->
+      Condition.wait p.completed p.m;
+      wait ()
+  in
+  wait ()
+
+let stolen f = f.was_stolen
+
+let map p f xs =
+  if Lazy.force single_core then List.map f xs
+  else
+    let futures = List.map (fun x -> submit p (fun () -> f x)) xs in
+    List.map await futures
+
+let queue_depth p =
+  Mutex.lock p.m;
+  let n = live_count p in
+  Mutex.unlock p.m;
+  n
+
+let size p = List.length p.domains

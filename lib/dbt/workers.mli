@@ -1,0 +1,81 @@
+(** The translation worker service: a process-wide pool of OCaml 5
+    domains consuming jobs from a bounded queue.
+
+    The DBT engine uses it to run the pure middle/back end of a
+    translation (IR build, poisoning analysis, scheduling, code
+    generation, install-time verification) off the execution path while
+    the interpreter keeps executing the guest; {!Gb_diff.Matrix} and the
+    bench harness use {!map} to shard embarrassingly parallel
+    experiment matrices across the same domains.
+
+    Design constraints (see docs/CONCURRENCY.md):
+
+    - {e One global pool.} Simulations create hundreds of short-lived
+      engines; per-engine pools would exhaust the runtime's domain
+      limit. {!ensure} lazily creates the pool and grows it, never
+      shrinks it. Pool size only affects host wall-clock, never
+      simulated results, so sharing one pool between callers that asked
+      for different sizes is sound.
+    - {e Futures are work-stealing.} {!await} on a job still sitting in
+      the queue claims and runs it on the calling domain. This makes
+      [await] deadlock-free under nesting (a worker awaiting a subjob
+      either steals it or waits on a job actively running elsewhere)
+      and means a dropped or full queue degrades to inline execution,
+      never to a stall.
+    - {e The queue is bounded.} {!try_submit} refuses instead of
+      queueing unboundedly; refusal is always safe because every use
+      site has an inline fallback that produces identical results. *)
+
+type pool
+
+type 'a future
+
+val available : unit -> bool
+(** Whether the host offers real parallelism (more than one recommended
+    domain). When false, callers that shard pure work should skip
+    {!ensure} entirely: even an idle worker domain taxes every minor
+    collection with a cross-domain synchronisation, so spawning one on
+    a single-core host makes runs measurably slower without overlapping
+    anything. Never affects simulated results. *)
+
+val env_default : unit -> int
+(** Worker count from [GHOSTBUSTERS_WORKERS] (0 when unset or
+    unparsable). Read from the environment on each call. *)
+
+val ensure : int -> pool
+(** [ensure n] returns the global pool, first creating it or growing it
+    so that at least [n] worker domains exist — clamped to 16 and to
+    [Domain.recommended_domain_count () - 1] (at least 1; one hardware
+    thread is left for the owner domain, since oversubscribing cores
+    only adds stop-the-world GC stalls). Worker domains are joined
+    through an [at_exit] hook. The clamp is invisible to results:
+    pool size only ever affects host wall-clock. *)
+
+val try_submit : pool -> (unit -> 'a) -> 'a future option
+(** Enqueue a job; [None] when the queue is at capacity (the caller
+    runs the work inline instead — same result, no overlap). The thunk
+    must not touch state owned by another domain. *)
+
+val await : 'a future -> 'a
+(** The job's result: runs it on the calling domain when no worker has
+    claimed it yet ({!stolen} becomes true), blocks until completion
+    otherwise. Re-raises the job's exception, if it raised. *)
+
+val stolen : 'a future -> bool
+(** Whether {!await} ran the job on the awaiting domain instead of a
+    worker (meaningful after {!await} returned). *)
+
+val map : pool -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel, order-preserving map: submits one job per element
+    (bypassing the admission bound — map jobs are the workload, not
+    speculation) and awaits them in order, stealing unclaimed ones.
+    Exceptions from [f] re-raise at the corresponding position.
+    On a single-core host this degrades to [List.map f xs]: with no
+    second hardware thread to overlap with, fan-out only buys GC
+    synchronisation stalls. Results are identical either way. *)
+
+val queue_depth : pool -> int
+(** Jobs currently queued and unclaimed (snapshot). *)
+
+val size : pool -> int
+(** Worker domains currently alive. *)

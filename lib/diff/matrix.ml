@@ -86,55 +86,81 @@ let sensitivity_check ?obs ~seed () =
   in
   try_seed 0
 
-let run ?obs ?(seed = 1L) ?(attacks = default_attacks)
+(* one cell of the matrix, self-contained: every run builds its own
+   processors and sinks from [config], so cells share no mutable state
+   and may execute on any domain in any order *)
+type job = {
+  j_workload : string;
+  j_mode : string;
+  j_config : Gb_system.Processor.config;
+  j_inject : Gb_system.Inject.spec option;
+  j_program : Gb_riscv.Asm.program;
+}
+
+let run ?obs ?(seed = 1L) ?(workers = 0) ?(attacks = default_attacks)
     ?(kernels = List.map (fun k -> k.Gb_workloads.Polybench.name)
                   Gb_workloads.Polybench.all)
     ?(injects = default_injects) () =
-  let rows = ref [] in
-  let push r = rows := r :: !rows in
-  let diff ~workload ~mode_name ~config ~inject program =
-    let r = Oracle.run ?obs ~config ?inject ~seed program in
-    push (row_of ~workload ~mode:mode_name ~inject ~seed r)
-  in
-  (* attacks x every mitigation mode x every inject variant *)
-  List.iter
-    (fun name ->
-      match attack_program name with
-      | None -> invalid_arg (Printf.sprintf "unknown attack %S" name)
-      | Some ast ->
-        let program = Gb_kernelc.Compile.assemble ast in
-        List.iter
-          (fun mode ->
-            let config = Gb_system.Processor.config_for mode in
-            List.iter
+  (* the full cell list, in the canonical (serial) order: attacks x every
+     mitigation mode x every inject variant, then polybench kernels under
+     the default configuration x every inject variant *)
+  let jobs =
+    List.concat_map
+      (fun name ->
+        match attack_program name with
+        | None -> invalid_arg (Printf.sprintf "unknown attack %S" name)
+        | Some ast ->
+          let program = Gb_kernelc.Compile.assemble ast in
+          List.concat_map
+            (fun mode ->
+              let config = Gb_system.Processor.config_for mode in
+              List.map
+                (fun inject ->
+                  { j_workload = name;
+                    j_mode = Gb_core.Mitigation.mode_name mode;
+                    j_config = config; j_inject = inject; j_program = program })
+                injects)
+            Gb_core.Mitigation.all_modes)
+      attacks
+    @ List.concat_map
+        (fun name ->
+          match Gb_workloads.Polybench.by_name name with
+          | None ->
+            invalid_arg (Printf.sprintf "unknown polybench kernel %S" name)
+          | Some k ->
+            let program =
+              Gb_kernelc.Compile.assemble k.Gb_workloads.Polybench.program
+            in
+            List.map
               (fun inject ->
-                diff ~workload:name
-                  ~mode_name:(Gb_core.Mitigation.mode_name mode)
-                  ~config ~inject program)
+                { j_workload = "polybench:" ^ name; j_mode = "default";
+                  j_config = Gb_system.Processor.default_config;
+                  j_inject = inject; j_program = program })
               injects)
-          Gb_core.Mitigation.all_modes)
-    attacks;
-  (* polybench kernels under the default (mitigated) configuration *)
-  List.iter
-    (fun name ->
-      match Gb_workloads.Polybench.by_name name with
-      | None -> invalid_arg (Printf.sprintf "unknown polybench kernel %S" name)
-      | Some k ->
-        let program =
-          Gb_kernelc.Compile.assemble k.Gb_workloads.Polybench.program
-        in
-        List.iter
-          (fun inject ->
-            diff
-              ~workload:("polybench:" ^ name)
-              ~mode_name:"default" ~config:Gb_system.Processor.default_config
-              ~inject program)
-          injects)
-    kernels;
+        kernels
+  in
+  let run_one j =
+    let r = Oracle.run ?obs ~config:j.j_config ?inject:j.j_inject ~seed
+        j.j_program
+    in
+    row_of ~workload:j.j_workload ~mode:j.j_mode ~inject:j.j_inject ~seed r
+  in
+  let sound_rows =
+    (* Sharding across domains is order-preserving ({!Gb_dbt.Workers.map})
+       and every cell is self-contained, so the row list — and every
+       verdict in it — is identical to the serial run's. An active
+       observability sink is the one piece of shared mutable state a cell
+       may touch; it forces the serial path. *)
+    let obs_active =
+      match obs with Some o -> Gb_obs.Sink.is_active o | None -> false
+    in
+    if workers > 0 && not obs_active && Gb_dbt.Workers.available () then
+      Gb_dbt.Workers.map (Gb_dbt.Workers.ensure workers) run_one jobs
+    else List.map run_one jobs
+  in
   let sensitivity_detected, sens_rows = sensitivity_check ?obs ~seed () in
   (* the sensitivity rows are expected to diverge; everything before them
      is a soundness gate *)
-  let sound_rows = List.rev !rows in
   let rows = sound_rows @ sens_rows in
   {
     rows;

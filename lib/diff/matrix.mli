@@ -42,6 +42,7 @@ val inject_name : Gb_system.Inject.spec option -> string
 val run :
   ?obs:Gb_obs.Sink.t ->
   ?seed:int64 ->
+  ?workers:int ->
   ?attacks:string list ->
   ?kernels:string list ->
   ?injects:Gb_system.Inject.spec option list ->
@@ -51,7 +52,15 @@ val run :
     Polybench kernel under the default configuration, once per inject
     variant, then the sensitivity control. [kernels] defaults to the
     whole Polybench suite. Raises [Invalid_argument] on an unknown
-    attack or kernel name. *)
+    attack or kernel name.
+
+    [workers] (default 0) shards the cells across a {!Gb_dbt.Workers}
+    domain pool. Cells are self-contained (each builds its own
+    processors and sinks) and the shard map preserves order, so the
+    result — every row, verdict and aggregate — is identical for every
+    [workers] value; only wall-clock time changes. Ignored when an
+    active [obs] is given: an external sink is shared mutable state, so
+    observability forces the serial path. *)
 
 val pass : t -> bool
 (** Zero divergences, zero unrecovered faults, sensitivity control

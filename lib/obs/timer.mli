@@ -14,6 +14,13 @@ val time : t -> string -> (unit -> 'a) -> 'a
 (** [time t phase f] runs [f] and records its wall-clock duration under
     [phase]; records even when [f] raises. Nested calls are allowed. *)
 
+val add : t -> string -> start:float -> dur_us:float -> unit
+(** Record an already-measured call: [start] is the absolute
+    [Unix.gettimeofday] at which it began (made relative to this timer's
+    origin for the span), [dur_us] its duration. Used to replay phases
+    that were timed elsewhere — e.g. on a worker domain — into the owning
+    sink's timer. *)
+
 type total = { t_phase : string; t_calls : int; t_total_us : float }
 
 val totals : t -> total list

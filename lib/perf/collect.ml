@@ -193,8 +193,13 @@ let of_data ?seq ?rev ?(seed = 1L) ?(counters = []) ?verdicts_unchanged ?e9
     @ geomean_cells figure4
     @ mode_cycles_cells ~exp:"e4" e4
     @ chaining_cells chaining
-    @ List.map
-        (fun (name, v) -> ("counter." ^ name, float_of_int v))
+    @ List.filter_map
+        (fun (name, v) ->
+          (* workers.* counters (prefetch hits/staleness, queue depth)
+             depend on wall-clock scheduling, not simulated behaviour —
+             they would make the manifest nondeterministic *)
+          if String.starts_with ~prefix:"workers." name then None
+          else Some ("counter." ^ name, float_of_int v))
         counters
     @ (match e10 with Some m -> e10_cells m | None -> [])
   in

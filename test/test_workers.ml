@@ -1,0 +1,385 @@
+(* Tests for parallel translation (Gb_dbt.Workers + the engine's
+   prefetch protocol): the pool itself (ordering, stealing, exception
+   propagation, admission bound), and the determinism contract — with
+   [workers = N] every simulated quantity, verdict, audit classification,
+   counter (minus the wall-clock [workers.*] lane) and event stream is
+   bit-identical to the synchronous run. See docs/CONCURRENCY.md. *)
+
+open Gb_dbt
+
+(* --- the pool ----------------------------------------------------------- *)
+
+let test_map_order () =
+  let p = Workers.ensure 3 in
+  let xs = List.init 100 Fun.id in
+  let ys = Workers.map p (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "order-preserving map" (List.map (fun x -> x * x) xs) ys
+
+exception Boom
+
+let test_exception_propagation () =
+  let p = Workers.ensure 2 in
+  Alcotest.check_raises "await re-raises" Boom (fun () ->
+      Workers.map p (fun () -> raise Boom) [ () ] |> ignore)
+
+let test_steal () =
+  (* a pool job that itself maps over the pool must not deadlock even
+     when every domain is busy: awaiting a queued future steals it *)
+  let p = Workers.ensure 2 in
+  let nested () = List.fold_left ( + ) 0 (Workers.map p Fun.id [ 1; 2; 3 ]) in
+  let totals = Workers.map p (fun () -> nested ()) (List.init 8 (fun _ -> ())) in
+  Alcotest.(check (list int)) "nested maps complete" (List.init 8 (fun _ -> 6)) totals
+
+let test_admission_bound () =
+  let p = Workers.ensure 2 in
+  let gate = Atomic.make false in
+  let blocker () =
+    while not (Atomic.get gate) do
+      Domain.cpu_relax ()
+    done;
+    1
+  in
+  (* fill the workers and the bounded queue until admission fails *)
+  let submitted = ref [] in
+  let rec fill n =
+    if n > 10_000 then Alcotest.fail "try_submit never refused"
+    else
+      match Workers.try_submit p blocker with
+      | Some fut -> submitted := fut :: !submitted; fill (n + 1)
+      | None -> ()
+  in
+  fill 0;
+  Alcotest.(check bool) "queue saturates at its bound" true
+    (Workers.queue_depth p > 0);
+  Atomic.set gate true;
+  let total = List.fold_left (fun acc f -> acc + Workers.await f) 0 !submitted in
+  Alcotest.(check int) "all admitted jobs complete" (List.length !submitted) total;
+  Alcotest.(check int) "queue drains" 0 (Workers.queue_depth p)
+
+let test_env_default () =
+  (* the suite may run under GHOSTBUSTERS_WORKERS; just pin the contract *)
+  let v = Workers.env_default () in
+  Alcotest.(check bool) "env default is non-negative" true (v >= 0)
+
+(* --- determinism: workers N == workers 0, bit for bit ------------------- *)
+
+let with_workers n (config : Gb_system.Processor.config) =
+  { config with
+    Gb_system.Processor.engine =
+      { config.Gb_system.Processor.engine with Gb_dbt.Engine.workers = n } }
+
+let worker_counts = [ 0; 1; 4 ]
+
+let non_worker_counters obs =
+  List.filter
+    (fun (name, _) -> not (String.starts_with ~prefix:"workers." name))
+    (Gb_obs.Sink.counters obs)
+
+(* small arithmetic kernels over a few scalars and one array, with a
+   loop hot enough to promote to a trace (the same shape the diff suite
+   uses); every generated program is deterministic *)
+let kernel_gen =
+  let open QCheck.Gen in
+  let open Gb_kernelc.Ast in
+  let c n = Const (Int64.of_int n) in
+  let var = oneofl [ "a"; "b"; "c"; "d" ] in
+  let leaf =
+    oneof
+      [ map (fun n -> c (n land 0xff)) small_nat; map (fun v -> Var v) var ]
+  in
+  let expr =
+    sized_size (int_range 0 3)
+    @@ fix (fun self n ->
+           if n = 0 then leaf
+           else
+             oneof
+               [
+                 leaf;
+                 map3
+                   (fun op l r -> Bin (op, l, r))
+                   (oneofl [ Add; Sub; Mul; And; Or; Xor ])
+                   (self (n / 2)) (self (n / 2));
+               ])
+  in
+  let stmt =
+    oneof
+      [
+        map2 (fun v e -> Set (v, e)) var expr;
+        map2
+          (fun i e -> Arr_store ("buf", [ c (i land 7) ], e))
+          small_nat expr;
+        map2
+          (fun e t -> If (Bin (Lt, Var "i", e), t, [ Set ("d", c 9) ]))
+          expr
+          (map (fun e -> [ Set ("b", e) ]) expr);
+      ]
+  in
+  let body = list_size (int_range 1 5) stmt in
+  map
+    (fun stmts ->
+      {
+        arrays = [ { a_name = "buf"; a_ty = I64; a_dims = [ 8 ]; a_init = Zero } ];
+        body =
+          [
+            Let ("a", c 1);
+            Let ("b", c 2);
+            Let ("c", c 3);
+            Let ("d", c 4);
+            For
+              ( "i", c 0, c 64,
+                stmts
+                @ [
+                    Set ("a", Bin (Add, Var "a", Var "i"));
+                    Arr_store ("buf", [ Bin (And, Var "i", c 7) ], Var "a");
+                  ] );
+            Set ("a", Bin (Add, Var "a", Arr ("buf", [ c 3 ])));
+          ];
+        result = Bin (And, Var "a", c 255);
+      })
+    body
+
+let fault_schedule_gen =
+  let open QCheck.Gen in
+  let recoverable =
+    List.filter Gb_system.Inject.recoverable Gb_system.Inject.all_kinds
+  in
+  let one =
+    map2
+      (fun k r -> (k, float_of_int (1 + (r land 15)) /. 64.))
+      (oneofl recoverable) small_nat
+  in
+  list_size (int_range 0 3) one
+
+(* qcheck: random kernels x every mode x a random fault schedule; the
+   full oracle report (cycle counts, syncs, fault recovery accounting,
+   divergence verdicts) must be identical across worker counts. The
+   fault schedule matters: prefetch submission must not consume draws
+   from the seeded injection RNG, or the fault stream would shift. *)
+let prop_workers_identical =
+  QCheck.Test.make ~count:12
+    ~name:"random kernels x modes x fault schedules: workers N == workers 0"
+    (QCheck.make
+       QCheck.Gen.(
+         triple kernel_gen fault_schedule_gen (map Int64.of_int small_nat)))
+    (fun (kernel, schedule, seed) ->
+      List.for_all
+        (fun mode ->
+          let inject = if schedule = [] then None else Some schedule in
+          let report n =
+            Gb_diff.Oracle.run_kernel
+              ~config:(with_workers n (Gb_system.Processor.config_for mode))
+              ?inject ~seed kernel
+          in
+          let reference = report 0 in
+          List.for_all
+            (fun n ->
+              let r = report n in
+              if r <> reference then
+                QCheck.Test.fail_reportf
+                  "mode %s, workers %d, seed %Ld: report differs from \
+                   synchronous run"
+                  (Gb_core.Mitigation.mode_name mode)
+                  n seed
+              else true)
+            worker_counts)
+        Gb_core.Mitigation.all_modes)
+
+(* instrumented equality on a fixed workload: the processor result, the
+   audit summary, every non-[workers.*] counter and the entire simulated
+   event stream (kinds, pcs and cycle stamps) must match *)
+let instrumented_run ~workers ~config program =
+  let obs = Gb_obs.Sink.create ~seed:7L () in
+  let r =
+    Gb_system.Processor.run_program ~config:(with_workers workers config)
+      ~obs ~audit:true program
+  in
+  (r, non_worker_counters obs, Gb_obs.Sink.events obs)
+
+let check_instrumented name ~config program =
+  let r0, c0, e0 = instrumented_run ~workers:0 ~config program in
+  List.iter
+    (fun n ->
+      let r, c, e = instrumented_run ~workers:n ~config program in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: result identical (workers %d)" name n)
+        true (r = r0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: counters identical (workers %d)" name n)
+        true (c = c0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: event stream identical (workers %d)" name n)
+        true (e = e0))
+    [ 1; 4 ]
+
+let gemm_program () =
+  match Gb_workloads.Polybench.by_name "gemm" with
+  | Some w -> Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program
+  | None -> Alcotest.fail "gemm workload missing"
+
+let test_instrumented_kernel () =
+  check_instrumented "gemm"
+    ~config:(Gb_system.Processor.config_for Gb_core.Mitigation.Fine_grained)
+    (gemm_program ())
+
+let test_instrumented_attack () =
+  let program =
+    Gb_kernelc.Compile.assemble
+      (Gb_attack.Spectre_v1.program ~secret:"SQUASH" ())
+  in
+  List.iter
+    (fun mode ->
+      check_instrumented
+        ("spectre-v1/" ^ Gb_core.Mitigation.mode_name mode)
+        ~config:(Gb_system.Processor.config_for mode)
+        program)
+    Gb_core.Mitigation.all_modes
+
+let test_verify_enforce_identical () =
+  let config = Gb_system.Processor.config_for Gb_core.Mitigation.Fine_grained in
+  let config =
+    { config with
+      Gb_system.Processor.engine =
+        { config.Gb_system.Processor.engine with
+          Gb_dbt.Engine.verify = Gb_dbt.Engine.Verify_enforce } }
+  in
+  check_instrumented "gemm under Verify_enforce" ~config (gemm_program ())
+
+(* a tiny code cache forces eviction churn and install/invalidate
+   turnover right where the prefetch protocol operates *)
+let test_tiny_cache_identical () =
+  let config = Gb_system.Processor.config_for Gb_core.Mitigation.Fine_grained in
+  let config =
+    { config with
+      Gb_system.Processor.engine =
+        { config.Gb_system.Processor.engine with
+          Gb_dbt.Engine.cache = { Code_cache.capacity = 48; chain = true } } }
+  in
+  check_instrumented "gemm under a 48-bundle cache" ~config (gemm_program ())
+
+(* --- code-cache install/invalidate races -------------------------------- *)
+
+let h n = Gb_vliw.Vinsn.guest_regs + n
+
+let mk_trace ?(bundles = 4) ~pc targets =
+  let stub target_pc =
+    { Gb_vliw.Vinsn.commits = [ (Gb_riscv.Reg.a0, Gb_vliw.Vinsn.R (h 0)) ];
+      target_pc; exit_id = max_int; chain = None }
+  in
+  {
+    Gb_vliw.Vinsn.entry_pc = pc;
+    bundles =
+      Array.make bundles [| Gb_vliw.Vinsn.Exit { stub = 0 }; Gb_vliw.Vinsn.Nop |];
+    stubs = Array.of_list (List.map stub targets);
+    n_regs = 64;
+    guest_insns = bundles;
+    meta = Gb_vliw.Vinsn.empty_meta;
+  }
+
+let test_stale_generation_refused () =
+  let cc = Code_cache.create { Code_cache.capacity = 64; chain = true } in
+  let gen = Code_cache.generation cc in
+  ignore
+    (Code_cache.insert cc ~pc:0x100 ~tier:Code_cache.Trace
+       ~mode:Code_cache.Nonspec (mk_trace ~pc:0x100 []));
+  Code_cache.invalidate cc 0x100;
+  (* the pc died after [gen]: a plan frozen back then must not install *)
+  Alcotest.(check bool) "stale install refused" true
+    (Code_cache.insert_tagged cc ~gen ~pc:0x100 ~tier:Code_cache.Trace
+       ~mode:Code_cache.Nonspec (mk_trace ~pc:0x100 [])
+     = None);
+  (* a fresh generation capture installs fine *)
+  let gen = Code_cache.generation cc in
+  Alcotest.(check bool) "fresh install accepted" true
+    (Code_cache.insert_tagged cc ~gen ~pc:0x100 ~tier:Code_cache.Trace
+       ~mode:Code_cache.Nonspec (mk_trace ~pc:0x100 [])
+     <> None)
+
+let test_concurrent_hammer () =
+  (* two domains hammer a tiny cache with generation-tagged installs,
+     links and invalidations over an overlapping pc range; the chaining
+     invariant must hold throughout and at the end *)
+  let cc = Code_cache.create { Code_cache.capacity = 32; chain = true } in
+  let pcs = Array.init 12 (fun i -> 0x1000 + (i * 0x40)) in
+  let hammer rounds salt () =
+    for i = 0 to rounds - 1 do
+      let pc = pcs.((i + salt) mod Array.length pcs) in
+      let succ = pcs.((i + salt + 1) mod Array.length pcs) in
+      let gen = Code_cache.generation cc in
+      (match
+         Code_cache.insert_tagged cc ~gen ~pc ~tier:Code_cache.Trace
+           ~mode:Code_cache.Nonspec
+           (mk_trace ~pc [ succ ])
+       with
+      | Some src -> (
+        match Code_cache.peek cc succ with
+        | Some dst -> ignore (Code_cache.link cc ~src ~stub:0 ~dst)
+        | None -> ())
+      | None -> ());
+      if i mod 7 = 0 then Code_cache.invalidate cc succ;
+      if i mod 13 = 0 then
+        Alcotest.(check bool) "well linked mid-flight" true
+          (Code_cache.well_linked cc)
+    done
+  in
+  let d1 = Domain.spawn (hammer 2_000 0) in
+  let d2 = Domain.spawn (hammer 2_000 5) in
+  hammer 2_000 9 ();
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check bool) "well linked after the storm" true
+    (Code_cache.well_linked cc);
+  Alcotest.(check bool) "capacity respected" true
+    (Code_cache.used_bundles cc <= 32)
+
+(* --- sharded experiment equality ---------------------------------------- *)
+
+let test_matrix_sharded_identical () =
+  let attacks = [ "spectre-v1" ] in
+  let kernels = [ "gemm" ] in
+  let injects = [ None; Some [ (Gb_system.Inject.Evict, 0.05) ] ] in
+  let serial = Gb_diff.Matrix.run ~seed:5L ~attacks ~kernels ~injects () in
+  let sharded =
+    Gb_diff.Matrix.run ~seed:5L ~workers:4 ~attacks ~kernels ~injects ()
+  in
+  Alcotest.(check bool) "sharded matrix identical to serial" true
+    (sharded = serial);
+  Alcotest.(check bool) "matrix passes" true (Gb_diff.Matrix.pass serial)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_workers_identical ] in
+  Alcotest.run "workers"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_map_order;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "nested await steals" `Quick test_steal;
+          Alcotest.test_case "admission bound" `Quick test_admission_bound;
+          Alcotest.test_case "env default" `Quick test_env_default;
+        ] );
+      ("determinism", qsuite);
+      ( "instrumented",
+        [
+          Alcotest.test_case "kernel: result/counters/events" `Slow
+            test_instrumented_kernel;
+          Alcotest.test_case "attack x modes: result/counters/events" `Slow
+            test_instrumented_attack;
+          Alcotest.test_case "verify-enforce identical" `Quick
+            test_verify_enforce_identical;
+          Alcotest.test_case "tiny cache identical" `Quick
+            test_tiny_cache_identical;
+        ] );
+      ( "code-cache",
+        [
+          Alcotest.test_case "stale generation refused" `Quick
+            test_stale_generation_refused;
+          Alcotest.test_case "concurrent install/invalidate hammer" `Quick
+            test_concurrent_hammer;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "sharded matrix identical" `Quick
+            test_matrix_sharded_identical;
+        ] );
+    ]
