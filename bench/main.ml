@@ -37,9 +37,9 @@ let audit_cols = function
       string_of_int s.Gb_cache.Audit.false_negatives;
     ]
 
-let e1 ~seed () =
+let e1 ~seed ?modes () =
   print_header "E1: Spectre proof-of-concept matrix (secret leakage per mode)";
-  let poc = Gb_experiments.Experiments.e1_poc_matrix ~audit:true ~seed () in
+  let poc = Gb_experiments.Experiments.e1_poc_matrix ~audit:true ~seed ?modes () in
   let rows =
     List.map
       (fun (r : Gb_experiments.Experiments.poc_row) ->
@@ -101,6 +101,9 @@ let e2 ~workers () =
                ~mode:Gb_core.Mitigation.Fine_grained);
           pct
             (Gb_experiments.Experiments.slowdown mc
+               ~mode:Gb_core.Mitigation.Min_cut);
+          pct
+            (Gb_experiments.Experiments.slowdown mc
                ~mode:Gb_core.Mitigation.No_speculation);
           top_overhead_cause mc;
         ])
@@ -109,13 +112,14 @@ let e2 ~workers () =
   let avg mode = pct (Gb_experiments.Experiments.geomean_slowdown data ~mode) in
   Gb_util.Table.print
     ~header:
-      [ "application"; "unsafe cycles"; "our approach"; "no speculation";
-        "top overhead cause (fence)" ]
+      [ "application"; "unsafe cycles"; "our approach"; "min-cut";
+        "no speculation"; "top overhead cause (fence)" ]
     ~rows:
       (rows
       @ [
           [ "geomean"; "";
             avg Gb_core.Mitigation.Fine_grained;
+            avg Gb_core.Mitigation.Min_cut;
             avg Gb_core.Mitigation.No_speculation; "" ];
         ]);
   print_string
@@ -151,8 +155,8 @@ let e4 () =
   let s mode = pct (Gb_experiments.Experiments.slowdown mc ~mode) in
   Gb_util.Table.print
     ~header:
-      [ "workload"; "unsafe cycles"; "fine-grained"; "fence"; "no spec";
-        "patterns"; "transient lines (unsafe)"; "audit FN" ]
+      [ "workload"; "unsafe cycles"; "fine-grained"; "fence"; "min-cut";
+        "no spec"; "patterns"; "transient lines (unsafe)"; "audit FN" ]
     ~rows:
       [
         [
@@ -160,6 +164,7 @@ let e4 () =
           Int64.to_string mc.Gb_experiments.Experiments.unsafe;
           s Gb_core.Mitigation.Fine_grained;
           s Gb_core.Mitigation.Fence_on_detect;
+          s Gb_core.Mitigation.Min_cut;
           s Gb_core.Mitigation.No_speculation;
           string_of_int mc.Gb_experiments.Experiments.patterns;
         ]
@@ -258,7 +263,7 @@ let e7 () =
      conclusion flags: optimization decisions themselves must not depend\n\
      on secrets.\n"
 
-let e8 ~seed () =
+let e8 ~seed ?modes () =
   print_header
     "E8: trace chaining (dispatcher exits per 1k guest instructions)";
   let rows = Gb_experiments.Experiments.e8_chaining () in
@@ -298,16 +303,16 @@ let e8 ~seed () =
      re-run E1 with a tiny code cache and diff the verdicts *)
   let constrained =
     Gb_experiments.Experiments.e1_poc_matrix ~audit:true ~seed
-      ~cc_capacity:Gb_experiments.Experiments.e8_tiny_capacity ()
+      ~cc_capacity:Gb_experiments.Experiments.e8_tiny_capacity ?modes ()
   in
   (rows, constrained)
 
-let e9 () =
+let e9 ?modes () =
   print_header
     "E9: static verification (translation verifier + gadget scanner vs \
      runtime audit)";
   let open Gb_experiments.Experiments in
-  let data = e9_verify () in
+  let data = e9_verify ?modes () in
   let pcs l = String.concat "," (List.map (Printf.sprintf "0x%x") l) in
   Gb_util.Table.print
     ~header:
@@ -370,11 +375,11 @@ let e9 () =
      precision below 1.0 is the price of static over-approximation.\n";
   data
 
-let e10 ~seed ~workers () =
+let e10 ~seed ~workers ?modes () =
   print_header
     "E10: differential gate (reference interpreter vs DBT, with fault \
      injection)";
-  let m = Gb_diff.Matrix.run ~seed ~workers () in
+  let m = Gb_diff.Matrix.run ~seed ~workers ?modes () in
   (* one line per workload: worst case across modes and inject variants *)
   let by_workload = Hashtbl.create 32 in
   List.iter
@@ -592,9 +597,46 @@ let flag_value name =
     Sys.argv;
   !v
 
+(* --modes M1,M2: restrict E1/E9's mode rows and E10's attack cells to
+   the listed modes (full names or the CLI's short spellings). E2's
+   mode_cycles rows always measure every mode — a slowdown is relative
+   to the unsafe run, so dropping modes there would change the row
+   type, not just filter it. *)
+let parse_modes s =
+  let aliases =
+    [
+      ("fence", Gb_core.Mitigation.Fence_on_detect);
+      ("fine", Gb_core.Mitigation.Fine_grained);
+      ("mincut", Gb_core.Mitigation.Min_cut);
+      ("nospec", Gb_core.Mitigation.No_speculation);
+      ("no-spec", Gb_core.Mitigation.No_speculation);
+    ]
+  in
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun n -> n <> "")
+  |> List.map (fun n ->
+         match
+           List.find_opt
+             (fun m -> Gb_core.Mitigation.mode_name m = n)
+             Gb_core.Mitigation.all_modes
+         with
+         | Some m -> m
+         | None -> (
+           match List.assoc_opt n aliases with
+           | Some m -> m
+           | None ->
+             Printf.eprintf "bench: unknown mode %S in --modes (expected: %s)\n"
+               n
+               (String.concat ", "
+                  (List.map Gb_core.Mitigation.mode_name
+                     Gb_core.Mitigation.all_modes));
+             exit 1))
+
 let () =
   let no_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
   let json_out = flag_value "--json-out" in
+  let modes = Option.map parse_modes (flag_value "--modes") in
   let seed =
     match flag_value "--seed" with
     | None -> 1L
@@ -655,14 +697,14 @@ let () =
     "GhostBusters reproduction - benchmark harness\n\
      (paper: S. Rokicki, \"GhostBusters: Mitigating Spectre Attacks on a\n\
      DBT-Based Processor\", DATE 2020)\n";
-  let poc = e1 ~seed () in
+  let poc = e1 ~seed ?modes () in
   let data = e2 ~workers () in
   e3 data;
   let e4_mc = e4 () in
   e5 ();
   e6 ();
   e7 ();
-  let chain_rows, constrained_poc = e8 ~seed () in
+  let chain_rows, constrained_poc = e8 ~seed ?modes () in
   let verdicts_unchanged =
     Gb_perf.Collect.poc_verdicts_equal poc constrained_poc
   in
@@ -674,8 +716,8 @@ let () =
     print_string
       "\nE1 leakage matrix and audit FN counts unchanged under the \
        capacity-constrained cache.\n";
-  let verify_data = e9 () in
-  let diff_data = e10 ~seed ~workers () in
+  let verify_data = e9 ?modes () in
+  let diff_data = e10 ~seed ~workers ?modes () in
   let counters = metrics_snapshot ~seed () in
   if not no_micro then micro ();
   Option.iter

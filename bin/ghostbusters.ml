@@ -19,6 +19,7 @@ let mode_aliases =
   [
     ("fence", Gb_core.Mitigation.Fence_on_detect);
     ("fine", Gb_core.Mitigation.Fine_grained);
+    ("mincut", Gb_core.Mitigation.Min_cut);
     ("nospec", Gb_core.Mitigation.No_speculation);
     ("no-spec", Gb_core.Mitigation.No_speculation);
   ]
@@ -51,8 +52,8 @@ let mode_arg =
     & opt mode_conv Gb_core.Mitigation.Unsafe
     & info [ "m"; "mode" ] ~docv:"MODE"
         ~doc:
-          "Mitigation mode: unsafe, fine-grained, fence-on-detect or \
-           no-speculation.")
+          "Mitigation mode: unsafe, fine-grained, fence-on-detect, \
+           min-cut or no-speculation.")
 
 let secret_arg =
   Arg.(
@@ -748,6 +749,16 @@ let diff_workload_arg =
           "v1, v4 or a Polybench kernel (see $(b,list)). Omit to run the \
            whole gate matrix.")
 
+let matrix_modes_arg =
+  Arg.(
+    value
+    & opt (some (list mode_conv)) None
+    & info [ "modes" ] ~docv:"MODE,..."
+        ~doc:
+          "Restrict the gate matrix's attack cells to this comma-separated \
+           mode list (e.g. $(b,--modes min-cut,fence)). Kernel cells and \
+           the sensitivity control always run. Ignored with a WORKLOAD.")
+
 let report_of_single name mode (r : Gb_diff.Oracle.report) =
   Gb_util.Json.Obj
     [
@@ -772,8 +783,8 @@ let report_of_single name mode (r : Gb_diff.Oracle.report) =
     ]
 
 let diff_cmd =
-  let run workload mode inject seed workers json trace_out metrics_out profile
-      =
+  let run workload mode modes inject seed workers json trace_out metrics_out
+      profile =
     match check_outputs trace_out metrics_out with
     | Error e -> Error e
     | Ok () ->
@@ -788,7 +799,7 @@ let diff_cmd =
     | None ->
       (* the full gate matrix: attacks x modes and all kernels, each under
          every inject variant, plus the sensitivity control *)
-      let m = Gb_diff.Matrix.run ~obs ~seed ~workers () in
+      let m = Gb_diff.Matrix.run ~obs ~seed ~workers ?modes () in
       if json then
         print_endline (Gb_util.Json.to_string_pretty (Gb_diff.Matrix.to_json m))
       else begin
@@ -864,9 +875,9 @@ let diff_cmd =
           on any divergence or unrecovered fault.")
     Term.(
       term_result
-        (const run $ diff_workload_arg $ mode_arg $ inject_arg $ seed_arg
-        $ workers_arg $ json_flag $ trace_out_arg $ metrics_out_arg
-        $ profile_flag))
+        (const run $ diff_workload_arg $ mode_arg $ matrix_modes_arg
+        $ inject_arg $ seed_arg $ workers_arg $ json_flag $ trace_out_arg
+        $ metrics_out_arg $ profile_flag))
 
 (* --- figure4 ------------------------------------------------------------ *)
 
@@ -1032,9 +1043,11 @@ let profile_diff_action name m1 m2 json seed =
               let by1 = At.by_cause a1 and by2 = At.by_cause a2 in
               let delta c = List.assoc c by1 - List.assoc c by2 in
               (* the mitigation overhead buckets: stalls the fences cost
-                 plus the issue slots serialization left empty *)
+                 plus the issue slots serialization — generic or forced by
+                 min-cut repairs — left empty *)
               let explained =
                 delta At.Fence_stall + delta At.Nospec_serialization
+                + delta At.Cut_protect
               in
               let explained_share =
                 if Int64.compare delta_units 0L > 0 then
@@ -1112,7 +1125,7 @@ let profile_diff_action name m1 m2 json seed =
                 | Some s ->
                   Printf.printf
                     "\n%.1f%% of the slowdown delta is fence-stall + \
-                     nospec-serialization\n"
+                     nospec-serialization + cut-protect\n"
                     (100. *. s)
                 | None -> ()
               end;

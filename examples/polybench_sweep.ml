@@ -28,6 +28,7 @@ let () =
               Int64.to_string mc.Gb_experiments.Experiments.unsafe;
               pct Gb_core.Mitigation.Fine_grained;
               pct Gb_core.Mitigation.Fence_on_detect;
+              pct Gb_core.Mitigation.Min_cut;
               pct Gb_core.Mitigation.No_speculation;
               string_of_int mc.Gb_experiments.Experiments.patterns;
             ])
@@ -35,8 +36,8 @@ let () =
   in
   Gb_util.Table.print
     ~header:
-      [ "kernel"; "unsafe cycles"; "fine-grained"; "fence"; "no-spec";
-        "patterns" ]
+      [ "kernel"; "unsafe cycles"; "fine-grained"; "fence"; "min-cut";
+        "no-spec"; "patterns" ]
     ~rows;
   print_string
     "\nOn plain kernels the Spectre pattern never occurs, so the\n\

@@ -1,15 +1,18 @@
-type mode = Unsafe | Fine_grained | Fence_on_detect | No_speculation
+type mode = Unsafe | Fine_grained | Fence_on_detect | Min_cut | No_speculation
 
 let mode_name = function
   | Unsafe -> "unsafe"
   | Fine_grained -> "fine-grained"
   | Fence_on_detect -> "fence-on-detect"
+  | Min_cut -> "min-cut"
   | No_speculation -> "no-speculation"
 
-let all_modes = [ Unsafe; Fine_grained; Fence_on_detect; No_speculation ]
+let all_modes =
+  [ Unsafe; Fine_grained; Fence_on_detect; Min_cut; No_speculation ]
 
 let opt_of_mode = function
-  | Unsafe | Fine_grained | Fence_on_detect -> Gb_ir.Opt_config.aggressive
+  | Unsafe | Fine_grained | Fence_on_detect | Min_cut ->
+    Gb_ir.Opt_config.aggressive
   | No_speculation -> Gb_ir.Opt_config.no_speculation
 
 type report = {
@@ -18,6 +21,7 @@ type report = {
   fences_inserted : int;
   rounds : int;
   flagged_pcs : int list;
+  cut_plan : Leakcut.plan option;
 }
 
 let empty_report =
@@ -27,6 +31,7 @@ let empty_report =
     fences_inserted = 0;
     rounds = 0;
     flagged_pcs = [];
+    cut_plan = None;
   }
 
 (* De-speculate one load: restore the dependencies the optimizer removed
@@ -71,9 +76,50 @@ let insert_fence g ~lat id =
         else
           Gb_ir.Dfg.add_edge g ~from:fence ~to_:nid ~lat:1 ~kind:Gb_ir.Dfg.Ectrl)
 
-let apply ?(obs = Gb_obs.Sink.noop) mode ~lat g =
+let apply ?(obs = Gb_obs.Sink.noop) ?(unsound_cut = false) mode ~lat g =
   match mode with
   | Unsafe | No_speculation -> empty_report
+  | Min_cut ->
+    (* One report-only poisoning pass first: the detector's verdict set
+       (flagged pcs, pattern count) stays comparable with the other
+       modes — the leakage audit and gadget scanner score against it —
+       while the repairs themselves come from the global min cut. *)
+    let { Poison.patterns; _ } = Poison.analyze g in
+    let flagged_pcs =
+      List.sort_uniq compare
+        (List.map (fun id -> (Gb_ir.Dfg.node g id).Gb_ir.Dfg.guest_pc) patterns)
+    in
+    List.iter
+      (fun id ->
+        Gb_obs.Sink.event obs ~pc:(Gb_ir.Dfg.node g id).Gb_ir.Dfg.guest_pc
+          (Gb_obs.Event.Poison_flagged { node = id }))
+      patterns;
+    let plan =
+      Leakcut.apply ~unsound:unsound_cut ~lat ~constrain:(constrain_load g)
+        ~fence:(fun id -> insert_fence g ~lat id)
+        g
+    in
+    let constrained = plan.Leakcut.dep_reinserts + plan.Leakcut.masks in
+    if Gb_obs.Sink.is_active obs then begin
+      Gb_obs.Sink.incr obs ~by:(List.length patterns)
+        "mitigation.patterns_found";
+      Gb_obs.Sink.incr obs ~by:constrained "mitigation.loads_constrained";
+      Gb_obs.Sink.incr obs ~by:plan.Leakcut.fences "mitigation.fences_inserted";
+      Gb_obs.Sink.incr obs ~by:constrained "mitigation.cut_protects";
+      Gb_obs.Sink.observe obs "mitigation.rounds" 1.;
+      if constrained > 0 then
+        Gb_obs.Sink.event obs
+          (Gb_obs.Event.Mitigation_applied
+             { constrained; fences = plan.Leakcut.fences })
+    end;
+    {
+      patterns_found = List.length patterns;
+      loads_constrained = constrained;
+      fences_inserted = plan.Leakcut.fences;
+      rounds = 1;
+      flagged_pcs;
+      cut_plan = Some plan;
+    }
   | Fine_grained | Fence_on_detect ->
     let patterns_found = ref 0 in
     let constrained = ref 0 in
@@ -97,7 +143,7 @@ let apply ?(obs = Gb_obs.Sink.noop) mode ~lat g =
             | Fence_on_detect ->
               insert_fence g ~lat id;
               incr fences
-            | Fine_grained | Unsafe | No_speculation -> ());
+            | Fine_grained | Min_cut | Unsafe | No_speculation -> ());
             constrain_load g id;
             incr constrained)
           patterns;
@@ -122,4 +168,5 @@ let apply ?(obs = Gb_obs.Sink.noop) mode ~lat g =
       (* a load can be re-flagged in a later fixpoint round (and distinct
          nodes can share a guest pc after unrolling): report each pc once *)
       flagged_pcs = List.sort_uniq compare !flagged_pcs;
+      cut_plan = None;
     }

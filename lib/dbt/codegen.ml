@@ -123,7 +123,12 @@ let emit res ~n_hidden ~cycles ~entry_pc ~guest_insns ~meta g =
           spec = spec.Gb_ir.Dfg.tag;
           id;
           pc = node.Gb_ir.Dfg.guest_pc;
-          hoisted = spec.Gb_ir.Dfg.spec_prev_branch <> None;
+          (* a constrained load is pinned below its guards: it executes
+             architecturally, so it must not seed runtime/verifier taint
+             (same definition as the engine's branch_spec_loads meta) *)
+          hoisted =
+            spec.Gb_ir.Dfg.spec_prev_branch <> None
+            && not spec.Gb_ir.Dfg.constrained;
         }
     | Gb_ir.Dfg.Kstore w ->
       Store

@@ -399,6 +399,11 @@ let graph_meta g (report : Gb_core.Mitigation.report) =
     spectre_patterns = report.Gb_core.Mitigation.patterns_found;
     constrained_loads = report.Gb_core.Mitigation.loads_constrained;
     fences_inserted = report.Gb_core.Mitigation.fences_inserted;
+    cut_protects =
+      (match report.Gb_core.Mitigation.cut_plan with
+      | Some plan ->
+        plan.Gb_core.Leakcut.dep_reinserts + plan.Gb_core.Leakcut.masks
+      | None -> 0);
   }
 
 (* ---- plan / backend / commit ---------------------------------------
@@ -467,9 +472,21 @@ let backend ~(cfg : config) ~audit_enabled bobs (p : plan) =
   let notes = ref [] in
   (* the sink half of the old [note_verify]; the stats half is absorbed
      at commit from the returned report list *)
-  let verify trace =
+  let verify ?plan trace =
     let vr = Gb_obs.Sink.time bobs "verify" (fun () ->
-        Gb_verify.Verifier.verify trace)
+        let vr = Gb_verify.Verifier.verify trace in
+        (* cut-soundness pass: when the mitigation produced a leak-cut
+           plan, independently prove on the emitted schedule that every
+           planned repair landed and no residual source→transmitter path
+           survives; its violations gate exactly like the sticky-taint
+           verifier's *)
+        match plan with
+        | None -> vr
+        | Some p ->
+          { vr with
+            Gb_verify.Verifier.violations =
+              vr.Gb_verify.Verifier.violations
+              @ Gb_verify.Verifier.check_cut trace ~plan:p })
     in
     verify_reports := vr :: !verify_reports;
     if Gb_obs.Sink.is_active bobs then begin
@@ -551,7 +568,7 @@ let backend ~(cfg : config) ~audit_enabled bobs (p : plan) =
         match cfg.verify with
         | Verify_off -> (trace, report, false)
         | (Verify_report | Verify_enforce) as lvl ->
-          let vr = verify trace in
+          let vr = verify ?plan:report.Gb_core.Mitigation.cut_plan trace in
           if Gb_verify.Verifier.ok vr || lvl = Verify_report then
             (trace, report, false)
           else begin
@@ -568,8 +585,11 @@ let backend ~(cfg : config) ~audit_enabled bobs (p : plan) =
               Gb_core.Mitigation.apply ~obs:bobs cfg.mode ~lat:cfg.lat g
             in
             let trace = lower g report in
-            if not (Gb_verify.Verifier.ok (verify trace)) then
-              raise Verify_rejected;
+            if
+              not
+                (Gb_verify.Verifier.ok
+                   (verify ?plan:report.Gb_core.Mitigation.cut_plan trace))
+            then raise Verify_rejected;
             (trace, report, true)
           end
       in

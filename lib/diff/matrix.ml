@@ -98,6 +98,7 @@ type job = {
 }
 
 let run ?obs ?(seed = 1L) ?(workers = 0) ?(attacks = default_attacks)
+    ?(modes = Gb_core.Mitigation.all_modes)
     ?(kernels = List.map (fun k -> k.Gb_workloads.Polybench.name)
                   Gb_workloads.Polybench.all)
     ?(injects = default_injects) () =
@@ -120,7 +121,7 @@ let run ?obs ?(seed = 1L) ?(workers = 0) ?(attacks = default_attacks)
                     j_mode = Gb_core.Mitigation.mode_name mode;
                     j_config = config; j_inject = inject; j_program = program })
                 injects)
-            Gb_core.Mitigation.all_modes)
+            modes)
       attacks
     @ List.concat_map
         (fun name ->

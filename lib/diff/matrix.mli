@@ -44,15 +44,18 @@ val run :
   ?seed:int64 ->
   ?workers:int ->
   ?attacks:string list ->
+  ?modes:Gb_core.Mitigation.mode list ->
   ?kernels:string list ->
   ?injects:Gb_system.Inject.spec option list ->
   unit ->
   t
 (** Run the matrix: each attack under every mitigation mode and each
     Polybench kernel under the default configuration, once per inject
-    variant, then the sensitivity control. [kernels] defaults to the
-    whole Polybench suite. Raises [Invalid_argument] on an unknown
-    attack or kernel name.
+    variant, then the sensitivity control. [modes] (default
+    {!Gb_core.Mitigation.all_modes}) restricts the attack cells — the
+    CLI's [--modes] filter; kernel cells and the sensitivity control are
+    unaffected. [kernels] defaults to the whole Polybench suite. Raises
+    [Invalid_argument] on an unknown attack or kernel name.
 
     [workers] (default 0) shards the cells across a {!Gb_dbt.Workers}
     domain pool. Cells are self-contained (each builds its own

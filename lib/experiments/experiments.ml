@@ -5,6 +5,7 @@ type mode_cycles = {
   unsafe : int64;
   fine_grained : int64;
   fence : int64;
+  min_cut : int64;
   no_spec : int64;
   patterns : int;
   unsafe_audit : Gb_cache.Audit.summary option;
@@ -16,6 +17,7 @@ let cycles_of mc = function
   | Gb_core.Mitigation.Unsafe -> mc.unsafe
   | Gb_core.Mitigation.Fine_grained -> mc.fine_grained
   | Gb_core.Mitigation.Fence_on_detect -> mc.fence
+  | Gb_core.Mitigation.Min_cut -> mc.min_cut
   | Gb_core.Mitigation.No_speculation -> mc.no_spec
 
 let slowdown mc ~mode = Int64.to_float (cycles_of mc mode) /. Int64.to_float mc.unsafe
@@ -45,6 +47,7 @@ let measure_program ?(audit = false) ?(attrib = false) ~name program =
   let unsafe_r, unsafe_c = run Gb_core.Mitigation.Unsafe in
   let fine_r, fine_c = run Gb_core.Mitigation.Fine_grained in
   let fence_r, fence_c = run Gb_core.Mitigation.Fence_on_detect in
+  let mincut_r, mincut_c = run Gb_core.Mitigation.Min_cut in
   let nospec_r, nospec_c = run Gb_core.Mitigation.No_speculation in
   let check (r : Gb_system.Processor.result) =
     if r.Gb_system.Processor.exit_code <> unsafe_r.Gb_system.Processor.exit_code
@@ -55,18 +58,21 @@ let measure_program ?(audit = false) ?(attrib = false) ~name program =
   in
   check fine_r;
   check fence_r;
+  check mincut_r;
   check nospec_r;
   {
     w_name = name;
     unsafe = unsafe_r.Gb_system.Processor.cycles;
     fine_grained = fine_r.Gb_system.Processor.cycles;
     fence = fence_r.Gb_system.Processor.cycles;
+    min_cut = mincut_r.Gb_system.Processor.cycles;
     no_spec = nospec_r.Gb_system.Processor.cycles;
     patterns = fine_r.Gb_system.Processor.patterns_found;
     unsafe_audit = unsafe_r.Gb_system.Processor.audit;
     fine_audit = fine_r.Gb_system.Processor.audit;
     causes =
-      (if attrib then [ unsafe_c; fine_c; fence_c; nospec_c ] else []);
+      (if attrib then [ unsafe_c; fine_c; fence_c; mincut_c; nospec_c ]
+       else []);
   }
 
 type poc_row = {
@@ -99,7 +105,7 @@ let config_capped mode cc_capacity =
   }
 
 let e1_poc_matrix ?(secret = default_secret) ?(audit = false) ?(seed = 1L)
-    ?cc_capacity () =
+    ?cc_capacity ?(modes = Gb_core.Mitigation.all_modes) () =
   List.concat_map
     (fun (variant, program) ->
       List.map
@@ -111,7 +117,7 @@ let e1_poc_matrix ?(secret = default_secret) ?(audit = false) ?(seed = 1L)
             outcome =
               Gb_attack.Runner.run ?config ~audit ~seed ~mode ~secret program;
           })
-        Gb_core.Mitigation.all_modes)
+        modes)
     (attack_programs ~secret)
 
 let e2_figure4 ?(audit = false) ?(attrib = true) ?(workers = 0) () =
@@ -317,9 +323,14 @@ let verified_run ?(audit = false) ~name mode asm =
     a )
 
 let e9_workload_modes =
-  [ Gb_core.Mitigation.Fine_grained; Gb_core.Mitigation.Fence_on_detect ]
+  [
+    Gb_core.Mitigation.Fine_grained;
+    Gb_core.Mitigation.Fence_on_detect;
+    Gb_core.Mitigation.Min_cut;
+  ]
 
-let e9_verify ?(secret = default_secret) () =
+let e9_verify ?(secret = default_secret)
+    ?(modes = Gb_core.Mitigation.all_modes) () =
   let attacks =
     List.map
       (fun (name, program) ->
@@ -342,7 +353,7 @@ let e9_verify ?(secret = default_secret) () =
                   flagged := Gb_cache.Audit.flagged_pc_list a
                 | _ -> ());
                 row)
-              Gb_core.Mitigation.all_modes
+              modes
         in
         let report = Gb_verify.Scanner.scan asm in
         let scan =
@@ -366,7 +377,7 @@ let e9_verify ?(secret = default_secret) () =
           (fun mode ->
             fst
               (verified_run ~name:w.Gb_workloads.Polybench.name mode asm))
-          e9_workload_modes)
+          (List.filter (fun m -> List.mem m modes) e9_workload_modes))
       Gb_workloads.Polybench.all
   in
   { e9_attacks = attack_rows; e9_workloads = workload_rows; e9_scans = scans }
@@ -415,6 +426,7 @@ let mode_cycles_json mc =
       ("unsafe_cycles", Gb_util.Json.Int (Int64.to_int mc.unsafe));
       ("fine_grained", Gb_util.Json.Float (slowdown mc ~mode:Gb_core.Mitigation.Fine_grained));
       ("fence_on_detect", Gb_util.Json.Float (slowdown mc ~mode:Gb_core.Mitigation.Fence_on_detect));
+      ("min_cut", Gb_util.Json.Float (slowdown mc ~mode:Gb_core.Mitigation.Min_cut));
       ("no_speculation", Gb_util.Json.Float (slowdown mc ~mode:Gb_core.Mitigation.No_speculation));
       ("patterns", Gb_util.Json.Int mc.patterns);
     ]
@@ -447,6 +459,8 @@ let figure4_json rows =
         Gb_util.Json.Obj
           [
             ("fine_grained", Gb_util.Json.Float (geomean_slowdown rows ~mode:Gb_core.Mitigation.Fine_grained));
+            ("fence_on_detect", Gb_util.Json.Float (geomean_slowdown rows ~mode:Gb_core.Mitigation.Fence_on_detect));
+            ("min_cut", Gb_util.Json.Float (geomean_slowdown rows ~mode:Gb_core.Mitigation.Min_cut));
             ("no_speculation", Gb_util.Json.Float (geomean_slowdown rows ~mode:Gb_core.Mitigation.No_speculation));
           ] );
     ]

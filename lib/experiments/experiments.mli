@@ -10,6 +10,7 @@ type mode_cycles = {
   unsafe : int64;
   fine_grained : int64;
   fence : int64;
+  min_cut : int64;
   no_spec : int64;
   patterns : int;  (** Spectre patterns detected under fine-grained *)
   unsafe_audit : Gb_cache.Audit.summary option;
@@ -58,13 +59,16 @@ val e1_poc_matrix :
   ?audit:bool ->
   ?seed:int64 ->
   ?cc_capacity:int ->
+  ?modes:Gb_core.Mitigation.mode list ->
   unit ->
   poc_row list
 (** [audit] attaches the leakage audit to every run; [seed] (default [1L])
     pins the observability sink's reservoir RNG so audited runs are
     reproducible bit-for-bit. [cc_capacity], when given, caps the code
     cache at that many bundles — the capacity-constrained re-check that
-    the leakage verdicts survive eviction churn. *)
+    the leakage verdicts survive eviction churn. [modes] (default
+    {!Gb_core.Mitigation.all_modes}) restricts the matrix to the listed
+    modes (the harnesses' [--modes] filter). *)
 
 val e2_figure4 :
   ?audit:bool -> ?attrib:bool -> ?workers:int -> unit -> mode_cycles list
@@ -171,9 +175,15 @@ type e9 = {
 }
 
 val e9_workload_modes : Gb_core.Mitigation.mode list
-(** The modes the Polybench rows cover (fine-grained, fence-on-detect). *)
+(** The modes the Polybench rows cover (fine-grained, fence-on-detect,
+    min-cut — every mode whose verifier must stay silent). *)
 
-val e9_verify : ?secret:string -> unit -> e9
+val e9_verify :
+  ?secret:string -> ?modes:Gb_core.Mitigation.mode list -> unit -> e9
+(** [modes] (default {!Gb_core.Mitigation.all_modes}) restricts both the
+    attack and workload rows; note the scanner's ground truth needs the
+    audited [Unsafe] run, so a filter without it scores against an empty
+    flagged set. *)
 
 val verify_json : e9 -> Gb_util.Json.t
 (** Machine-readable E9 results (consumed by the CI verify gate). *)

@@ -8,12 +8,13 @@ type cause =
   | Translation
   | Interp_fallback
   | Cache_miss_stall
+  | Cut_protect
 
 let all_causes =
   [
     Committed_work; Fence_stall; Nospec_serialization; Mcb_rollback;
     Dispatcher_exit; Chain_transfer; Translation; Interp_fallback;
-    Cache_miss_stall;
+    Cache_miss_stall; Cut_protect;
   ]
 
 let n_causes = List.length all_causes
@@ -28,6 +29,7 @@ let cause_index = function
   | Translation -> 6
   | Interp_fallback -> 7
   | Cache_miss_stall -> 8
+  | Cut_protect -> 9
 
 let cause_name = function
   | Committed_work -> "committed-work"
@@ -39,6 +41,7 @@ let cause_name = function
   | Translation -> "translation"
   | Interp_fallback -> "interp-fallback"
   | Cache_miss_stall -> "cache-miss-stall"
+  | Cut_protect -> "cut-protect"
 
 let cause_of_name n =
   List.find_opt (fun c -> cause_name c = n) all_causes

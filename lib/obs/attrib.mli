@@ -23,6 +23,9 @@ type cause =
   | Translation  (** reserved: translation is host-side and costs 0 here *)
   | Interp_fallback  (** cycles spent interpreting untranslated code *)
   | Cache_miss_stall  (** L1D miss penalties, both tiers *)
+  | Cut_protect
+      (** serialization forced by min-cut repairs (dep re-inserts and
+          index masks) in a [Min_cut]-protected trace *)
 
 val all_causes : cause list
 

@@ -7,6 +7,7 @@ let mitigated_modes =
   [
     Gb_core.Mitigation.Fine_grained;
     Gb_core.Mitigation.Fence_on_detect;
+    Gb_core.Mitigation.Min_cut;
     Gb_core.Mitigation.No_speculation;
   ]
 
@@ -42,6 +43,7 @@ let cycles_of mc mode =
   | Gb_core.Mitigation.Unsafe -> mc.E.unsafe
   | Gb_core.Mitigation.Fine_grained -> mc.E.fine_grained
   | Gb_core.Mitigation.Fence_on_detect -> mc.E.fence
+  | Gb_core.Mitigation.Min_cut -> mc.E.min_cut
   | Gb_core.Mitigation.No_speculation -> mc.E.no_spec
 
 (* cycles + slowdowns + audited false negatives of one measured workload *)
@@ -159,6 +161,58 @@ let e9_verdicts (e9 : E.e9) =
         e9.E.e9_scans );
   ]
 
+(* Headline verdicts of the min-cut mode: it must serialize strictly
+   less than fence-on-detect — fewer fences on every attack variant and
+   no larger fence-stall cycle share on every attributed E2 row — while
+   the leak/soundness verdicts themselves come from [poc_verdicts] and
+   [e9_verdicts]. *)
+let min_cut_verdicts ~(poc : E.poc_row list) ~figure4 =
+  let fences mode variant =
+    List.find_map
+      (fun (r : E.poc_row) ->
+        if r.E.variant = variant && r.E.mode = mode then
+          Some
+            r.E.outcome.Gb_attack.Runner.result
+              .Gb_system.Processor.fences_inserted
+        else None)
+      poc
+  in
+  let variants =
+    List.sort_uniq compare (List.map (fun (r : E.poc_row) -> r.E.variant) poc)
+  in
+  let fewer_fences =
+    List.filter_map
+      (fun variant ->
+        match
+          ( fences Gb_core.Mitigation.Min_cut variant,
+            fences Gb_core.Mitigation.Fence_on_detect variant )
+        with
+        | Some mc, Some f ->
+          Some (Printf.sprintf "e1.%s.min_cut_fewer_fences" variant, mc < f)
+        | _ -> None)
+      variants
+  in
+  let share mode cause (mc : E.mode_cycles) =
+    match List.assoc_opt mode mc.E.causes with
+    | Some shares -> Option.value ~default:0. (List.assoc_opt cause shares)
+    | None -> 0.
+  in
+  let attributed =
+    List.filter (fun (mc : E.mode_cycles) -> mc.E.causes <> []) figure4
+  in
+  fewer_fences
+  @
+  if attributed = [] then []
+  else
+    [
+      ( "e2.min_cut_fence_stall_leq_fence_mode",
+        List.for_all
+          (fun mc ->
+            share "min-cut" "fence-stall" mc
+            <= share "fence-on-detect" "fence-stall" mc)
+          attributed );
+    ]
+
 let e10_cells (m : Gb_diff.Matrix.t) =
   let total f =
     float_of_int
@@ -205,6 +259,7 @@ let of_data ?seq ?rev ?(seed = 1L) ?(counters = []) ?verdicts_unchanged ?e9
   in
   let verdicts =
     poc_verdicts poc
+    @ min_cut_verdicts ~poc ~figure4
     @ chaining_verdicts chaining
     @ (match verdicts_unchanged with
       | Some b -> [ ("e8.verdicts_unchanged", b) ]

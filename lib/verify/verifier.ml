@@ -6,6 +6,8 @@ type kind =
   | Transient_store
   | Tainted_commit
   | Unguarded_bypass
+  | Unrealized_cut
+  | Residual_flow
 
 let kind_name = function
   | Tainted_load -> "tainted-load-address"
@@ -13,6 +15,8 @@ let kind_name = function
   | Transient_store -> "transient-store"
   | Tainted_commit -> "tainted-commit"
   | Unguarded_bypass -> "unguarded-bypass"
+  | Unrealized_cut -> "unrealized-cut"
+  | Residual_flow -> "residual-flow"
 
 type violation = {
   v_kind : kind;
@@ -210,6 +214,149 @@ let verify (tr : Vinsn.trace) =
     mem_ops = !mem_ops;
     bundles = nb;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Cut-soundness pass (Min_cut mode).
+
+   Venkman-style enforcement of the min-cut plan on the emitted unit:
+   speculation facts are re-derived from the schedule alone, so a repair
+   the optimizer believed realized but that the scheduler or code
+   generator undid still fails here.  Two obligations:
+
+   - every planned repair is visibly materialized (the protected load is
+     present and no longer schedule-speculative; a mask repair also has
+     its identity-AND in a strictly earlier bundle; fence repairs have
+     their barriers) -> [Unrealized_cut] otherwise;
+
+   - no residual source->transmitter path survives: an independent
+     sticky taint pass seeded only by loads the schedule still
+     speculates must reach no speculative load address and no transient
+     store/flush operand -> [Residual_flow] otherwise.
+
+   Commits are deliberately left to [verify]'s live-window pass: by
+   commit time the committing exit has resolved, so sticky taint there
+   is architecturally validated data and a sticky check would reject
+   sound schedules. *)
+
+(* Schedule-speculative, mirroring [verify]: above an unresolved earlier
+   exit, or bypassing an earlier store without an MCB check resolving
+   after the last bypassed store. *)
+let sched_speculative pos ~id ~bundle ~spec =
+  unresolved_exits pos ~id ~bundle <> []
+  ||
+  match List.filter (fun (s, b) -> s < id && b >= bundle) pos.stores with
+  | [] -> false
+  | bypassed -> (
+    let last_store =
+      List.fold_left (fun acc (_, b) -> max acc b) (-1) bypassed
+    in
+    match spec with
+    | None -> true
+    | Some tag -> (
+      match Hashtbl.find_opt pos.chks tag with
+      | Some cb -> cb < last_store
+      | None -> true))
+
+let check_cut (tr : Vinsn.trace) ~(plan : Gb_core.Leakcut.plan) =
+  let module L = Gb_core.Leakcut in
+  let pos = positions tr in
+  let violations = ref [] in
+  let flag kind ~pc ~id ~bundle origins =
+    violations :=
+      { v_kind = kind; v_pc = pc; v_id = id; v_bundle = bundle;
+        v_origins = origins }
+      :: !violations
+  in
+  (* Where every load landed, plus the structural witnesses of repairs:
+     identity-AND mask ops and fences. *)
+  let loads = Hashtbl.create 16 in
+  let mask_bundles = ref [] and fence_ops = ref 0 in
+  Array.iteri
+    (fun c bundle ->
+      Array.iter
+        (fun op ->
+          match op with
+          | Vinsn.Load { id; pc; spec; _ } ->
+            Hashtbl.replace loads id (c, pc, spec)
+          | Vinsn.Alu { op = Gb_riscv.Insn.AND; b = Vinsn.I m; _ }
+            when Int64.equal m (-1L) ->
+            mask_bundles := c :: !mask_bundles
+          | Vinsn.Fence -> incr fence_ops
+          | _ -> ())
+        bundle)
+    tr.Vinsn.bundles;
+  (* Obligation 1: every repair in the plan — realized or not, so the
+     deliberately-unsound sensitivity control is caught — is visible in
+     the schedule. *)
+  let fence_repairs =
+    List.length (List.filter (fun r -> r.L.r_kind = L.Fence) plan.L.repairs)
+  in
+  List.iter
+    (fun r ->
+      match r.L.r_kind with
+      | L.Fence ->
+        if !fence_ops < fence_repairs then
+          flag Unrealized_cut ~pc:r.L.r_pc ~id:r.L.r_node ~bundle:(-1) []
+      | L.Dep_reinsert | L.Mask -> (
+        match Hashtbl.find_opt loads r.L.r_node with
+        | None ->
+          (* the protected load vanished from the emitted unit *)
+          flag Unrealized_cut ~pc:r.L.r_pc ~id:r.L.r_node ~bundle:(-1) []
+        | Some (c, pc, spec) ->
+          if sched_speculative pos ~id:r.L.r_node ~bundle:c ~spec then
+            flag Unrealized_cut ~pc ~id:r.L.r_node ~bundle:c [];
+          if
+            r.L.r_kind = L.Mask
+            && not (List.exists (fun mb -> mb < c) !mask_bundles)
+          then flag Unrealized_cut ~pc ~id:r.L.r_node ~bundle:c []))
+    plan.L.repairs;
+  (* Obligation 2: residual flow.  Sticky taint (no live windows — any
+     schedule-speculative value is a potential transmitter payload for
+     the rest of the unit) seeded only from loads the schedule still
+     speculates; parallel-read semantics as in [verify]. *)
+  let st = Array.make (max 1 tr.Vinsn.n_regs) None in
+  let read_t = function
+    | Vinsn.I _ -> None
+    | Vinsn.R r -> if r = 0 then None else st.(r)
+  in
+  let joins a b =
+    match (a, b) with
+    | None, t | t, None -> t
+    | Some x, Some y -> Some (IS.union x y)
+  in
+  let elems = function Some s -> IS.elements s | None -> [] in
+  Array.iteri
+    (fun c bundle ->
+      let writes = ref [] in
+      let write dst t = if dst <> 0 then writes := (dst, t) :: !writes in
+      Array.iter
+        (fun op ->
+          match op with
+          | Vinsn.Nop | Vinsn.Fence -> ()
+          | Vinsn.Alu { dst; a; b; _ } -> write dst (joins (read_t a) (read_t b))
+          | Vinsn.Mv { dst; src } -> write dst (read_t src)
+          | Vinsn.Rdcycle { dst } -> write dst None
+          | Vinsn.Load { dst; base; spec; id; pc; _ } ->
+            let sched = sched_speculative pos ~id ~bundle:c ~spec in
+            let base_t = read_t base in
+            if sched && base_t <> None then
+              flag Residual_flow ~pc ~id ~bundle:c (elems base_t);
+            let seed = if sched then Some (IS.singleton pc) else None in
+            write dst (joins seed base_t)
+          | Vinsn.Store { src; base; id; pc; _ } ->
+            if unresolved_exits pos ~id ~bundle:c <> [] then (
+              let t = joins (read_t src) (read_t base) in
+              if t <> None then flag Residual_flow ~pc ~id ~bundle:c (elems t))
+          | Vinsn.Cflush { base; id; pc; _ } ->
+            if unresolved_exits pos ~id ~bundle:c <> [] then (
+              match read_t base with
+              | Some s -> flag Residual_flow ~pc ~id ~bundle:c (IS.elements s)
+              | None -> ())
+          | Vinsn.Branch _ | Vinsn.Chk _ | Vinsn.Exit _ -> ())
+        bundle;
+      List.iter (fun (dst, t) -> st.(dst) <- t) (List.rev !writes))
+    tr.Vinsn.bundles;
+  List.rev !violations
 
 let ok r = r.violations = []
 

@@ -37,6 +37,16 @@ type kind =
       (** a load scheduled above a potentially-aliasing store without an
           MCB tag, or whose Chk does not resolve after the bypassed
           store *)
+  | Unrealized_cut
+      (** ({!check_cut} only) a repair in the min-cut plan has no
+          witness in the emitted schedule: the protected load is missing
+          or still schedule-speculative, a mask repair has no identity
+          AND in an earlier bundle, or a fence repair has no barrier *)
+  | Residual_flow
+      (** ({!check_cut} only) sticky taint seeded by a load the schedule
+          still speculates reaches a speculative load address or a
+          transient store/flush operand — a source→transmitter path the
+          cut failed to sever *)
 
 val kind_name : kind -> string
 
@@ -64,6 +74,17 @@ type report = {
 val verify : Gb_vliw.Vinsn.trace -> report
 (** Pure; never mutates the trace. Chain links are ignored (verification
     is per-translation). *)
+
+val check_cut :
+  Gb_vliw.Vinsn.trace -> plan:Gb_core.Leakcut.plan -> violation list
+(** Cut-soundness pass for [Min_cut] translations (Venkman-style: the
+    property is re-proved on every emitted unit). Re-derives speculation
+    from the schedule alone and checks two obligations against the
+    plan: every repair — realized or not, so a deliberately-skipped one
+    is caught — has a structural witness ([Unrealized_cut] otherwise),
+    and an independent sticky taint pass seeded only by loads the
+    schedule still speculates reaches no transmitter ([Residual_flow]
+    otherwise). Pure; returns violations in schedule order. *)
 
 val ok : report -> bool
 

@@ -25,7 +25,7 @@ let eval regs = function
    is exact for every width dividing {!Gb_obs.Attrib.scale} (all widths
    up to 16); any remainder units go to committed work so conservation
    stays an integer identity. *)
-let attribute_bundle a ~mitigated ~width ~pc bundle =
+let attribute_bundle a ~mitigated ~cut ~width ~pc bundle =
   let fences = ref 0 and nops = ref 0 in
   Array.iter
     (fun op ->
@@ -45,9 +45,13 @@ let attribute_bundle a ~mitigated ~width ~pc bundle =
       (useful, !fences + !nops, 0)
     else (useful + !fences, 0, !nops)
   in
+  (* a min-cut-protected trace's bubbles are serialization the repairs
+     forced, not generic lost ILP: bill them to their own bucket so
+     `profile diff` can separate cut cost from schedule gaps *)
+  let lost_cause = if cut then At.Cut_protect else At.Nospec_serialization in
   At.add_here a At.Committed_work ~pc ~units:((committed * per_slot) + rem);
   At.add_here a At.Fence_stall ~pc ~units:(fence_stall * per_slot);
-  At.add_here a At.Nospec_serialization ~pc ~units:(lost_ilp * per_slot)
+  At.add_here a lost_cause ~pc ~units:(lost_ilp * per_slot)
 
 (* Execute one pass over a trace. The mutable per-cycle state is kept in
    local refs; register writes are buffered and applied at end of cycle to
@@ -66,6 +70,7 @@ let run_one (m : Machine.t) (trace : Vinsn.trace) =
      as mitigation cost; a trace the mitigation never touched charges its
      fences (the guest's own) to committed work *)
   let mitigated = trace.meta.fences_inserted > 0 in
+  let cut = trace.meta.cut_protects > 0 in
   (match attrib with
   | Some a -> Gb_obs.Attrib.enter a ~entry:trace.entry_pc
   | None -> ());
@@ -258,7 +263,8 @@ let run_one (m : Machine.t) (trace : Vinsn.trace) =
       (* the cache-miss part of this advance was attributed op-by-op in
          touch_cache; the one issue cycle splits across the slots here *)
       (match attrib with
-      | Some a -> attribute_bundle a ~mitigated ~width ~pc:trace.entry_pc bundle
+      | Some a ->
+        attribute_bundle a ~mitigated ~cut ~width ~pc:trace.entry_pc bundle
       | None -> ());
       match !taken_stub with
       | Some (stub, kind) -> finish ~bundle_idx:i stub kind

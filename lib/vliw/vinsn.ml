@@ -47,6 +47,7 @@ type meta = {
   spectre_patterns : int;
   constrained_loads : int;
   fences_inserted : int;
+  cut_protects : int;
 }
 
 let empty_meta =
@@ -56,6 +57,7 @@ let empty_meta =
     spectre_patterns = 0;
     constrained_loads = 0;
     fences_inserted = 0;
+    cut_protects = 0;
   }
 
 (* stub and trace are mutually recursive: a patched stub transfers

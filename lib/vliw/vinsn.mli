@@ -67,6 +67,10 @@ type meta = {
   spectre_patterns : int;  (** poisoned-address speculative loads found *)
   constrained_loads : int;  (** loads de-speculated by the mitigation *)
   fences_inserted : int;
+  cut_protects : int;
+      (** min-cut repairs realized in this trace (dep re-inserts +
+          masks): the pipeline attributes its issue bubbles to the
+          [cut-protect] cause instead of lost ILP when nonzero *)
 }
 
 val empty_meta : meta

@@ -25,7 +25,7 @@ let check_no_leak name mode program =
     0 o.Gb_attack.Runner.correct_bytes
 
 let mitigations =
-  Gb_core.Mitigation.[ Fine_grained; Fence_on_detect; No_speculation ]
+  Gb_core.Mitigation.[ Fine_grained; Fence_on_detect; Min_cut; No_speculation ]
 
 let v1_unsafe () = check_full_leak "v1" v1
 

@@ -212,7 +212,7 @@ let bench_leakage_json_roundtrip () =
   | Ok (Gb_util.Json.Obj fields) -> (
     match List.assoc_opt "attacks" fields with
     | Some (Gb_util.Json.List attacks) ->
-      Alcotest.(check int) "one row per variant x mode" 8 (List.length attacks)
+      Alcotest.(check int) "one row per variant x mode" 10 (List.length attacks)
     | _ -> Alcotest.fail "leakage json has no attacks list")
   | Ok _ -> Alcotest.fail "leakage json is not an object"
 

@@ -3,7 +3,7 @@
 
 let e1_shape () =
   let rows = Gb_experiments.Experiments.e1_poc_matrix ~secret:"GB" () in
-  Alcotest.(check int) "2 variants x 4 modes" 8 (List.length rows);
+  Alcotest.(check int) "2 variants x 5 modes" 10 (List.length rows);
   List.iter
     (fun (r : Gb_experiments.Experiments.poc_row) ->
       let ok = Gb_attack.Runner.succeeded r.Gb_experiments.Experiments.outcome in
@@ -13,7 +13,7 @@ let e1_shape () =
           (r.Gb_experiments.Experiments.variant ^ " leaks when unsafe")
           true ok
       | Gb_core.Mitigation.Fine_grained | Gb_core.Mitigation.Fence_on_detect
-      | Gb_core.Mitigation.No_speculation ->
+      | Gb_core.Mitigation.Min_cut | Gb_core.Mitigation.No_speculation ->
         Alcotest.(check int)
           (r.Gb_experiments.Experiments.variant ^ " safe under mitigation")
           0

@@ -249,7 +249,7 @@ let mitigation_fixpoint_prop =
           match mode with
           | Gb_core.Mitigation.Unsafe -> true
           | Gb_core.Mitigation.Fine_grained | Gb_core.Mitigation.Fence_on_detect
-          | Gb_core.Mitigation.No_speculation ->
+          | Gb_core.Mitigation.Min_cut | Gb_core.Mitigation.No_speculation ->
             count_patterns g = 0)
         Gb_core.Mitigation.all_modes)
 

@@ -268,7 +268,8 @@ let mitigated_modes_verify_clean () =
             (Printf.sprintf "no violations under %s"
                (Gb_core.Mitigation.mode_name mode))
             0 r.Gb_system.Processor.verify_violations)
-        [ Gb_core.Mitigation.Fine_grained; Gb_core.Mitigation.Fence_on_detect ])
+        [ Gb_core.Mitigation.Fine_grained; Gb_core.Mitigation.Fence_on_detect;
+          Gb_core.Mitigation.Min_cut ])
     [ v1_asm (); v4_asm () ]
 
 let unsafe_static_fn_is_zero () =
@@ -413,7 +414,8 @@ let qcheck_random_kernels =
             QCheck.Test.fail_reportf "%d violation(s) under %s"
               r.Gb_system.Processor.verify_violations
               (Gb_core.Mitigation.mode_name mode))
-        [ Gb_core.Mitigation.Fine_grained; Gb_core.Mitigation.Fence_on_detect ];
+        [ Gb_core.Mitigation.Fine_grained; Gb_core.Mitigation.Fence_on_detect;
+          Gb_core.Mitigation.Min_cut ];
       let proc, _ =
         verified_run ~audit:true ~verify:Gb_dbt.Engine.Verify_report
           Gb_core.Mitigation.Unsafe asm
