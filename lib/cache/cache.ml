@@ -44,18 +44,22 @@ let stats t = t.stats
 
 let line_of t addr = addr land lnot (t.cfg.line_bytes - 1)
 
-let set_and_tag t addr =
-  let line = addr / t.cfg.line_bytes in
-  (line land (t.sets - 1), line / t.sets)
+(* set and tag are computed separately (not as a returned pair): this
+   runs on every memory access of both tiers and must not allocate *)
+let set_of t addr = addr / t.cfg.line_bytes land (t.sets - 1)
 
-let find_way t set tag =
-  let tags = t.tags.(set) in
-  let rec go i =
-    if i >= t.cfg.ways then None
-    else if tags.(i) = tag then Some i
-    else go (i + 1)
-  in
-  go 0
+let tag_of t addr = addr / t.cfg.line_bytes / t.sets
+
+(* way index holding [tag], or -1: an [int option] here would allocate
+   per cache hit. Top-level recursion with explicit parameters — a local
+   [let rec] capturing [tags]/[tag] compiles to a closure allocation per
+   lookup, and this runs on every memory access of both tiers. *)
+let rec scan_ways tags tag ways i =
+  if i >= ways then -1
+  else if tags.(i) = tag then i
+  else scan_ways tags tag ways (i + 1)
+
+let find_way t set tag = scan_ways t.tags.(set) tag t.cfg.ways 0
 
 let lru_way t set =
   let use = t.last_use.(set) in
@@ -70,13 +74,14 @@ let lru_way t set =
   !best
 
 let touch_line t addr ~write =
-  let set, tag = set_and_tag t addr in
+  let set = set_of t addr and tag = tag_of t addr in
   t.tick <- t.tick + 1;
-  match find_way t set tag with
-  | Some way ->
+  let way = find_way t set tag in
+  if way >= 0 then begin
     t.last_use.(set).(way) <- t.tick;
     true
-  | None ->
+  end
+  else begin
     let way = lru_way t set in
     t.tags.(set).(way) <- tag;
     t.last_use.(set).(way) <- t.tick;
@@ -94,6 +99,7 @@ let touch_line t addr ~write =
         (Gb_obs.Event.Cache_miss { addr; write })
     end;
     false
+  end
 
 let access t ~addr ~write =
   if write then t.stats.writes <- t.stats.writes + 1
@@ -112,11 +118,9 @@ let access_range t ~addr ~size ~write =
     first && second
   else first
 
-let contains t addr =
-  let set, tag = set_and_tag t addr in
-  match find_way t set tag with Some _ -> true | None -> false
+let contains t addr = find_way t (set_of t addr) (tag_of t addr) >= 0
 
-let set_index t addr = fst (set_and_tag t addr)
+let set_index t addr = set_of t addr
 
 let lines t =
   let acc = ref [] in
@@ -130,12 +134,11 @@ let lines t =
   List.sort compare !acc
 
 let flush_line t addr =
-  let set, tag = set_and_tag t addr in
+  let set = set_of t addr and tag = tag_of t addr in
   t.stats.flushes <- t.stats.flushes + 1;
   Gb_obs.Sink.incr t.obs "cache.flushes";
-  match find_way t set tag with
-  | Some way -> t.tags.(set).(way) <- -1
-  | None -> ()
+  let way = find_way t set tag in
+  if way >= 0 then t.tags.(set).(way) <- -1
 
 let flush_all t =
   Array.iter (fun ways -> Array.fill ways 0 (Array.length ways) (-1)) t.tags

@@ -79,9 +79,19 @@ let create ?(obs = Gb_obs.Sink.noop) cfg =
     on_evict = (fun ~pc:_ _ -> ());
   }
 
+(* The match-on-exception form unlocks on both paths without the two
+   closures [Fun.protect ~finally] would allocate per call; [f] itself
+   still allocates when it captures — the per-exit hot paths ([peek],
+   [find]) therefore avoid [with_lock] entirely. *)
 let with_lock t f =
   Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
 
 let config t = t.cfg
 
@@ -95,22 +105,37 @@ let touch t e =
   t.lru_clock <- t.lru_clock + 1;
   e.e_stamp <- t.lru_clock
 
-let peek t pc = with_lock t (fun () -> Hashtbl.find_opt t.tbl pc)
+(* [peek]/[find] run per trace exit on the chain-follow path: no
+   [with_lock] closure, and the only allocation left is the returned
+   [Some] itself ([Hashtbl.find]'s [Not_found] is a constant, so the
+   miss path allocates nothing). *)
+let peek t pc =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find t.tbl pc with
+    | e -> Some e
+    | exception Not_found -> None
+  in
+  Mutex.unlock t.lock;
+  r
 
 let find t pc =
-  let hit = with_lock t (fun () ->
-      match Hashtbl.find_opt t.tbl pc with
-      | Some e ->
-        touch t e;
-        t.stats.hits <- t.stats.hits + 1;
-        Some e
-      | None ->
-        t.stats.misses <- t.stats.misses + 1;
-        None)
+  Mutex.lock t.lock;
+  let hit =
+    match Hashtbl.find t.tbl pc with
+    | e ->
+      touch t e;
+      t.stats.hits <- t.stats.hits + 1;
+      Some e
+    | exception Not_found ->
+      t.stats.misses <- t.stats.misses + 1;
+      None
   in
-  (match hit with
-  | Some _ -> Gb_obs.Sink.incr t.obs "code_cache.hits"
-  | None -> Gb_obs.Sink.incr t.obs "code_cache.misses");
+  Mutex.unlock t.lock;
+  (if Gb_obs.Sink.is_active t.obs then
+     match hit with
+     | Some _ -> Gb_obs.Sink.incr t.obs "code_cache.hits"
+     | None -> Gb_obs.Sink.incr t.obs "code_cache.misses");
   hit
 
 let gauges t =
@@ -251,6 +276,19 @@ let link t ~src ~stub ~dst =
   then false
   else
     with_lock t (fun () ->
+        (* [src] and [dst] were looked up before this lock was taken:
+           either may have been invalidated or replaced by another domain
+           in between. Linking through a dead entry would plant a chain
+           no removal can ever break — [unlink] only reaches stubs via
+           the live tables — so re-check both endpoints here, under the
+           same lock every removal runs under. *)
+        let live e =
+          match Hashtbl.find_opt t.tbl e.e_pc with
+          | Some cur -> cur == e
+          | None -> false
+        in
+        if not (live src && live dst) then false
+        else
         let s = src.e_trace.Gb_vliw.Vinsn.stubs.(stub) in
         if s.Gb_vliw.Vinsn.target_pc <> dst.e_pc then false
         else

@@ -154,6 +154,10 @@ val link : t -> src:entry -> stub:int -> dst:entry -> bool
     unable to create a wrong-control-flow edge). Both tiers participate;
     the processor keeps block hot counters ticking by recording an entry
     on every chained transfer, so chained-into blocks still promote.
+    Both endpoints are re-checked for liveness under the cache lock:
+    if either was invalidated or replaced since the caller looked it up
+    (a cross-domain race), the link is refused rather than planting a
+    chain into dead code that no removal could ever break.
     Returns whether the link is in place afterwards; re-linking an
     already-linked stub is true and costless. *)
 

@@ -97,12 +97,8 @@ let emit res ~n_hidden ~cycles ~entry_pc ~guest_insns ~meta g =
         in
         Hashtbl.add stub_index node.Gb_ir.Dfg.id !n_stubs;
         stubs :=
-          {
-            commits;
-            target_pc = node.Gb_ir.Dfg.exit_pc;
-            exit_id = node.Gb_ir.Dfg.id;
-            chain = None;
-          }
+          make_stub ~exit_id:node.Gb_ir.Dfg.id ~commits
+            ~target_pc:node.Gb_ir.Dfg.exit_pc ()
           :: !stubs;
         incr n_stubs
       end);

@@ -105,7 +105,11 @@ type t = {
       (** entry -> pcs of the conditional branches inside the trace *)
   despeculated : (int, unit) Hashtbl.t;
   hot : (int, int) Hashtbl.t;
-  branches : (int, int * int) Hashtbl.t;  (** pc -> (taken, total) *)
+  branch_taken : (int, int) Hashtbl.t;  (** pc -> taken count *)
+  branch_total : (int, int) Hashtbl.t;
+      (** pc -> executions; two int tables rather than one
+          [(int * int) Hashtbl.t] — the per-exit profile update would
+          otherwise allocate a pair (and a [Some]) per recorded branch *)
   stats : stats;
   obs : Gb_obs.Sink.t;
   audit : Gb_cache.Audit.t option;
@@ -117,6 +121,10 @@ type t = {
       (** translation worker pool when [cfg.workers > 0] *)
   prefetch : (int, prefetch) Hashtbl.t;
       (** entry -> speculative backend run in flight on the pool *)
+  allocs : Gb_obs.Allocs.t;
+      (** execution-allocation accumulator: translation entry points
+          pause it so a window around a run counts only the execution
+          tiers (see {!allocs}) *)
 }
 
 let create ?(obs = Gb_obs.Sink.noop) ?audit cfg ~mem =
@@ -134,7 +142,8 @@ let create ?(obs = Gb_obs.Sink.noop) ?audit cfg ~mem =
     trace_branches = Hashtbl.create 64;
     despeculated = Hashtbl.create 16;
     hot = Hashtbl.create 256;
-    branches = Hashtbl.create 256;
+    branch_taken = Hashtbl.create 256;
+    branch_total = Hashtbl.create 256;
     stats =
       {
         retranslations = 0;
@@ -158,6 +167,7 @@ let create ?(obs = Gb_obs.Sink.noop) ?audit cfg ~mem =
     translate_fault = None;
     pool = (if cfg.workers > 0 then Some (Workers.ensure cfg.workers) else None);
     prefetch = Hashtbl.create 8;
+    allocs = Gb_obs.Allocs.create ();
   }
   in
   (* The bugfix half of the eviction contract: a capacity-evicted region
@@ -179,6 +189,8 @@ let config t = t.cfg
 
 let stats t = t.stats
 
+let allocs t = t.allocs
+
 let set_translate_fault t hook = t.translate_fault <- hook
 
 let translate_faulted t entry =
@@ -197,11 +209,19 @@ let lookup t pc =
   | Some e -> Some e.Code_cache.e_trace
   | None -> None
 
+(* Counter-table helpers for the per-exit accounting below. They run on
+   every chained trace exit, so they must not allocate: [Hashtbl.find]'s
+   [Not_found] is a constant (unlike [find_opt]'s per-hit [Some]), and
+   [Hashtbl.replace] over an existing int key mutates the bucket in
+   place — only a key's first appearance allocates its bucket. *)
+let count tbl key =
+  match Hashtbl.find tbl key with v -> v | exception Not_found -> 0
+
+let bump tbl key = Hashtbl.replace tbl key (count tbl key + 1)
+
 let record_branch_outcome t pc taken =
-  let t_cnt, total =
-    match Hashtbl.find_opt t.branches pc with Some v -> v | None -> (0, 0)
-  in
-  Hashtbl.replace t.branches pc ((t_cnt + if taken then 1 else 0), total + 1)
+  if taken then bump t.branch_taken pc;
+  bump t.branch_total pc
 
 let record_branch t ~pc ~taken = record_branch_outcome t pc taken
 
@@ -212,10 +232,8 @@ let despec_min_rollbacks = 8
 
 let consider_despeculation t entry =
   if t.cfg.adaptive_despec && not (Hashtbl.mem t.despeculated entry) then begin
-    let rollbacks =
-      Option.value ~default:0 (Hashtbl.find_opt t.region_rollbacks entry)
-    in
-    let runs = Option.value ~default:0 (Hashtbl.find_opt t.region_runs entry) in
+    let rollbacks = count t.region_rollbacks entry in
+    let runs = count t.region_runs entry in
     if rollbacks >= despec_min_rollbacks && rollbacks * 8 >= runs then begin
       (* drop the speculative translation; the entry counter is already
          past the hot threshold, so the next arrival re-translates it
@@ -257,17 +275,13 @@ let has_trace t entry =
 let consider_retranslation t entry =
   if t.cfg.adaptive_retranslate
      && has_trace t entry
-     && Option.value ~default:0 (Hashtbl.find_opt t.rebuilds entry)
-        < max_bias_rebuilds
+     && count t.rebuilds entry < max_bias_rebuilds
   then begin
-    let side_exits =
-      Option.value ~default:0 (Hashtbl.find_opt t.region_side_exits entry)
-    in
-    let runs = Option.value ~default:0 (Hashtbl.find_opt t.region_runs entry) in
+    let side_exits = count t.region_side_exits entry in
+    let runs = count t.region_runs entry in
     if side_exits >= retranslate_min_side_exits && side_exits * 4 >= runs * 3
     then begin
-      Hashtbl.replace t.rebuilds entry
-        (1 + Option.value ~default:0 (Hashtbl.find_opt t.rebuilds entry));
+      bump t.rebuilds entry;
       Code_cache.invalidate t.cc entry;
       Hashtbl.remove t.blacklist entry;
       Hashtbl.remove t.prefetch entry;
@@ -275,7 +289,9 @@ let consider_retranslation t entry =
       Hashtbl.replace t.region_runs entry 0;
       (* forget the stale bias and re-learn it on the interpreter *)
       List.iter
-        (fun pc -> Hashtbl.remove t.branches pc)
+        (fun pc ->
+          Hashtbl.remove t.branch_taken pc;
+          Hashtbl.remove t.branch_total pc)
         (Option.value ~default:[] (Hashtbl.find_opt t.trace_branches entry));
       Hashtbl.replace t.hot entry (t.cfg.hot_threshold - relearn_window);
       t.stats.retranslations <- t.stats.retranslations + 1;
@@ -286,25 +302,22 @@ let consider_retranslation t entry =
   end
 
 let record_block_exit t ~entry info =
-  Hashtbl.replace t.region_runs entry
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.region_runs entry));
+  bump t.region_runs entry;
   (match info.Gb_vliw.Pipeline.kind with
   | Gb_vliw.Pipeline.Rollback ->
-    Hashtbl.replace t.region_rollbacks entry
-      (1 + Option.value ~default:0 (Hashtbl.find_opt t.region_rollbacks entry));
+    bump t.region_rollbacks entry;
     consider_despeculation t entry
   | Gb_vliw.Pipeline.Side_exit ->
-    Hashtbl.replace t.region_side_exits entry
-      (1 + Option.value ~default:0 (Hashtbl.find_opt t.region_side_exits entry));
+    bump t.region_side_exits entry;
     consider_retranslation t entry
   | Gb_vliw.Pipeline.Fallthrough -> ());
-  match Hashtbl.find_opt t.block_meta entry with
-  | Some (Some branch_pc) -> (
+  match Hashtbl.find t.block_meta entry with
+  | Some branch_pc -> (
     match info.Gb_vliw.Pipeline.kind with
     | Gb_vliw.Pipeline.Side_exit -> record_branch_outcome t branch_pc true
     | Gb_vliw.Pipeline.Fallthrough -> record_branch_outcome t branch_pc false
     | Gb_vliw.Pipeline.Rollback -> ())
-  | Some None | None -> ()
+  | None | (exception Not_found) -> ()
 
 (* Run the post-scheduling verifier over a translation about to be
    installed, record its findings (counters, events, the per-entry log)
@@ -345,7 +358,20 @@ let verify_log t = List.rev t.verify_log
    and stays on the interpreter *)
 exception Verify_rejected
 
+(* The three translation entry points below ([translate_first_pass],
+   [submit_prefetch], [translate]) are the only ways into the translation
+   pipeline — promotion-triggered translations included, since
+   record_block_entry goes through [translate] — so bracketing them with
+   an exclusion window is a sound cut: a {!Gb_obs.Allocs} window around a
+   processor run then counts only execution-tier allocation. Translation
+   allocates freely by design (IR, DFG, scheduling) and would drown the
+   number the hot loops are held to. *)
+let excluded t f =
+  Gb_obs.Allocs.pause t.allocs;
+  Fun.protect ~finally:(fun () -> Gb_obs.Allocs.resume t.allocs) f
+
 let translate_first_pass t entry =
+  excluded t @@ fun () ->
   if Code_cache.peek t.cc entry <> None
      || Hashtbl.mem t.fp_blacklist entry
      || translate_faulted t entry
@@ -380,7 +406,10 @@ let translate_first_pass t entry =
     | exception First_pass.Untranslatable _ ->
       Hashtbl.replace t.fp_blacklist entry ()
 
-let branch_profile t pc = Hashtbl.find_opt t.branches pc
+let branch_profile t pc =
+  match Hashtbl.find t.branch_total pc with
+  | total -> Some (count t.branch_taken pc, total)
+  | exception Not_found -> None
 
 let graph_meta g (report : Gb_core.Mitigation.report) =
   let spec_loads = ref 0 in
@@ -428,7 +457,7 @@ let graph_meta g (report : Gb_core.Mitigation.report) =
    the pre-split code. *)
 
 let plan_of t entry ~quiet =
-  let profile pc = Hashtbl.find_opt t.branches pc in
+  let profile pc = branch_profile t pc in
   let build () = Trace_builder.build t.cfg.trace_cfg ~mem:t.mem ~profile ~entry in
   match
     if quiet then build ()
@@ -721,6 +750,7 @@ let commit t ~gen (p : plan) (br : backend_result) =
 let prefetch_lookahead = 8
 
 let submit_prefetch t pool entry =
+  excluded t @@ fun () ->
   match plan_of t entry ~quiet:true with
   | None -> ()
   | Some p ->
@@ -742,6 +772,7 @@ let submit_prefetch t pool entry =
       Gb_obs.Sink.incr t.obs "workers.queue_full")
 
 let translate t entry =
+  excluded t @@ fun () ->
   match Code_cache.peek t.cc entry with
   | Some e when e.Code_cache.e_tier = Code_cache.Trace ->
     Some e.Code_cache.e_trace
@@ -810,23 +841,23 @@ let regions t =
        (Code_cache.entries t.cc))
 
 let record_block_entry t pc =
-  let count = (match Hashtbl.find_opt t.hot pc with Some c -> c | None -> 0) + 1 in
-  Hashtbl.replace t.hot pc count;
-  if count >= t.cfg.hot_threshold
+  let n = count t.hot pc + 1 in
+  Hashtbl.replace t.hot pc n;
+  if n >= t.cfg.hot_threshold
      && (not (has_trace t pc))
      && not (Hashtbl.mem t.blacklist pc)
   then ignore (translate t pc)
   else begin
     (match t.pool with
     | Some pool
-      when count = max 1 (t.cfg.hot_threshold - prefetch_lookahead)
-           && count < t.cfg.hot_threshold
+      when n = max 1 (t.cfg.hot_threshold - prefetch_lookahead)
+           && n < t.cfg.hot_threshold
            && (not (has_trace t pc))
            && (not (Hashtbl.mem t.blacklist pc))
            && not (Hashtbl.mem t.prefetch pc) ->
       submit_prefetch t pool pc
     | Some _ | None -> ());
-    if count >= t.cfg.first_pass_threshold && count < t.cfg.hot_threshold then
+    if n >= t.cfg.first_pass_threshold && n < t.cfg.hot_threshold then
       translate_first_pass t pc
   end
 

@@ -180,3 +180,10 @@ val verify_log : t -> (int * Gb_verify.Verifier.violation) list
 (** Every violation the install-time verifier recorded, in chronological
     order, tagged with the region entry pc it was found in. Empty unless
     [config.verify] is [Verify_report] or [Verify_enforce]. *)
+
+val allocs : t -> Gb_obs.Allocs.t
+(** The engine's execution-allocation accumulator. The translation entry
+    points ({!translate}, the first-pass tier, prefetch submission) pause
+    it, so {!Gb_obs.Allocs.start}ing it around a run measures the
+    allocation of the execution tiers alone — what the
+    [alloc.minor_words_per_kinsn.*] manifest cells report. *)

@@ -22,7 +22,7 @@ let translate ~mem ~entry =
     i
   in
   let add_stub ?(exit_id = max_int) target_pc =
-    stubs := { commits = []; target_pc; exit_id; chain = None } :: !stubs;
+    stubs := make_stub ~exit_id ~commits:[] ~target_pc () :: !stubs;
     incr n_stubs;
     !n_stubs - 1
   in

@@ -1,0 +1,41 @@
+type t = {
+  mutable counting : bool;
+  mutable mark : float;  (* [Gc.minor_words] at the last start/resume *)
+  mutable counted : float;  (* words folded in by pause/stop *)
+  mutable depth : int;  (* exclusion-window nesting; counted iff 0 *)
+}
+
+let create () = { counting = false; mark = 0.; counted = 0.; depth = 0 }
+
+let start t =
+  t.counted <- 0.;
+  t.depth <- 0;
+  t.counting <- true;
+  t.mark <- Gc.minor_words ()
+
+let stop t =
+  if t.counting then begin
+    if t.depth = 0 then t.counted <- t.counted +. (Gc.minor_words () -. t.mark);
+    t.counting <- false
+  end;
+  t.counted
+
+(* Only the outermost pause/resume pair touches the clock: a nested
+   exclusion (translate triggering a first pass) is already inside an
+   open window. *)
+let pause t =
+  if t.counting then begin
+    if t.depth = 0 then t.counted <- t.counted +. (Gc.minor_words () -. t.mark);
+    t.depth <- t.depth + 1
+  end
+
+let resume t =
+  if t.counting then begin
+    t.depth <- t.depth - 1;
+    if t.depth = 0 then t.mark <- Gc.minor_words ()
+  end
+
+let counting t = t.counting
+
+let per_kinsn ~words ~insns =
+  if insns = 0L then 0. else 1000. *. words /. Int64.to_float insns

@@ -1,0 +1,51 @@
+(** Minor-heap allocation accounting for the execution hot path.
+
+    An accumulator over [Gc.minor_words] with pausable exclusion windows:
+    {!start} begins counting allocation on the calling domain, {!pause} /
+    {!resume} carve out regions whose allocation must not be charged to
+    the measured path, and {!stop} returns the counted words. The DBT
+    engine brackets its translation entry points ([translate],
+    [translate_first_pass], [submit_prefetch]) with pause/resume, so a
+    window around a processor run measures {e execution} allocation —
+    the interpreter and VLIW pipeline hot loops — with the translation
+    pipeline (a separate, cold subsystem that allocates by design)
+    excluded. This is what the [alloc.minor_words_per_kinsn.*] manifest
+    cells report (see docs/OBSERVABILITY.md).
+
+    An accumulator that was never {!start}ed costs one load and branch
+    per pause/resume, so the engine brackets stay on unconditionally.
+    [Gc.minor_words] only sees the calling domain's minor heap: work
+    shipped to translation worker domains is invisible here, which is
+    the intended accounting — only the owning domain's allocation can
+    stall the owning domain's hot loop. Each resume itself allocates the
+    [Gc.minor_words] float box ({e after} the counter is read), so a
+    counted run carries ~2 words of measurement overhead per excluded
+    window — noise against any real per-instruction traffic.
+
+    Not domain-safe: an accumulator must be started, paused, resumed and
+    stopped by one domain. *)
+
+type t
+
+val create : unit -> t
+(** A fresh accumulator, not counting. *)
+
+val start : t -> unit
+(** Reset and begin counting from the current [Gc.minor_words]. *)
+
+val stop : t -> float
+(** Stop counting and return the words counted since {!start},
+    exclusion windows subtracted. 0 if never started. *)
+
+val pause : t -> unit
+(** Begin an exclusion window: allocation until the matching {!resume}
+    is not counted. Nests; only the outermost pair reads the clock.
+    No-op when not counting. *)
+
+val resume : t -> unit
+(** Close the innermost exclusion window. No-op when not counting. *)
+
+val counting : t -> bool
+
+val per_kinsn : words:float -> insns:int64 -> float
+(** Words per 1000 instructions; 0 when [insns] is 0. *)

@@ -4,6 +4,8 @@ let default_tol_cycles = 0.01
 
 let default_band_share = 0.02
 
+let default_tol_alloc = 0.05
+
 let has_prefix ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
@@ -16,6 +18,7 @@ let rule_for ?(tol_cycles = default_tol_cycles) name =
   then Lower_better tol_cycles
   else if has_prefix ~prefix:"audit_fn." name then Lower_better 0.
   else if has_prefix ~prefix:"cause_share." name then Band default_band_share
+  else if has_prefix ~prefix:"alloc." name then Lower_better default_tol_alloc
   else Info
 
 type status = Improved | Unchanged | Regressed | Added | Removed

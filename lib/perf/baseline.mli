@@ -25,8 +25,9 @@ val rule_for : ?tol_cycles:float -> string -> direction
     {!Manifest}): [cycles.*], [slowdown.*] and [exits_per_1k.*] are
     [Lower_better tol_cycles] (default tolerance {!default_tol_cycles});
     [audit_fn.*] is [Lower_better 0.]; [cause_share.*] is
-    [Band default_band_share]; [counter.*], [faults.*] and anything
-    unrecognised are [Info]. *)
+    [Band default_band_share]; [alloc.*] is
+    [Lower_better default_tol_alloc]; [counter.*], [faults.*] and
+    anything unrecognised are [Info]. *)
 
 val default_tol_cycles : float
 (** 0.01 — the simulator is deterministic, so 1% headroom only absorbs
@@ -36,6 +37,14 @@ val default_tol_cycles : float
 val default_band_share : float
 (** 0.02 — two percentage points of absolute drift allowed per cause
     share before the attribution gate trips. *)
+
+val default_tol_alloc : float
+(** 0.05 — headroom for the [alloc.minor_words_per_kinsn.*] cells. The
+    measurement itself is deterministic; the band absorbs legitimate
+    small drift from unrelated changes (a new record field, a changed
+    cold path inside the measured window) while any real per-instruction
+    allocation leak — one word per insn is a >40% step on the current
+    floor — trips the gate. *)
 
 type status = Improved | Unchanged | Regressed | Added | Removed
 

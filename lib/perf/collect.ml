@@ -231,6 +231,55 @@ let e10_verdicts (m : Gb_diff.Matrix.t) =
     ("e10.sensitivity_detected", m.Gb_diff.Matrix.sensitivity_detected);
   ]
 
+(* Allocation discipline of the two execution tiers, measured on gemm
+   (the suite's first kernel, ALU/load dense): minor words allocated per
+   1000 guest instructions, with the translation pipeline excluded from
+   the processor runs via the engine's {!Gb_obs.Allocs} exclusion
+   windows. Translation worker domains have their own minor heaps and
+   are invisible to the owning domain's [Gc.minor_words], so the cells
+   are identical with and without GHOSTBUSTERS_WORKERS. The interpreter
+   cell brackets a pure interpreter run — no translation to exclude.
+   These cells are what the CI perf gate holds the hot loops to (rule
+   [alloc.], see {!Baseline.rule_for}): a leaked per-instruction
+   allocation shows up as a step in this trajectory. *)
+let alloc_modes =
+  [ Gb_core.Mitigation.Fence_on_detect; Gb_core.Mitigation.Min_cut ]
+
+let alloc_cells () =
+  let w = List.hd Gb_workloads.Polybench.all in
+  let program = Gb_kernelc.Compile.assemble w.Gb_workloads.Polybench.program in
+  let cell name words insns =
+    ( "alloc.minor_words_per_kinsn." ^ name,
+      Gb_obs.Allocs.per_kinsn ~words ~insns )
+  in
+  let interp_cell =
+    let mem =
+      Gb_riscv.Mem.create
+        ~size:Gb_system.Processor.default_config.Gb_system.Processor.mem_size
+    in
+    Gb_riscv.Asm.load mem program;
+    let i = Gb_riscv.Interp.create ~mem ~pc:program.Gb_riscv.Asm.entry () in
+    let a = Gb_obs.Allocs.create () in
+    Gb_obs.Allocs.start a;
+    let (_ : int) = Gb_riscv.Interp.run i in
+    cell "interp" (Gb_obs.Allocs.stop a) i.Gb_riscv.Interp.insn_count
+  in
+  interp_cell
+  :: List.map
+       (fun mode ->
+         let p =
+           Gb_system.Processor.create
+             ~config:(Gb_system.Processor.config_for mode)
+             program
+         in
+         let a = Gb_system.Processor.allocs p in
+         Gb_obs.Allocs.start a;
+         let r = Gb_system.Processor.run p in
+         cell
+           ("pipeline." ^ mode_name mode)
+           (Gb_obs.Allocs.stop a) r.Gb_system.Processor.guest_insns)
+       alloc_modes
+
 let geomean_cells figure4 =
   List.map
     (fun mode ->
@@ -255,6 +304,7 @@ let of_data ?seq ?rev ?(seed = 1L) ?(counters = []) ?verdicts_unchanged ?e9
           if String.starts_with ~prefix:"workers." name then None
           else Some ("counter." ^ name, float_of_int v))
         counters
+    @ alloc_cells ()
     @ (match e10 with Some m -> e10_cells m | None -> [])
   in
   let verdicts =

@@ -43,7 +43,11 @@ val of_data :
     - [verdicts_unchanged] — E8's churn re-check of the E1 verdicts;
     - [e9]/[e10] — the static-verification and differential-gate
       verdicts, plus fault accounting as informational cells;
-    - [counters] — [counter.*] informational cells. *)
+    - [counters] — [counter.*] informational cells;
+    - [alloc.minor_words_per_kinsn.{interp,pipeline.*}] — minor-heap
+      words per 1000 guest instructions of the execution tiers on the
+      first Polybench kernel, translation excluded (measured here, not
+      passed in: the runs are deterministic and take milliseconds). *)
 
 val poc_verdicts_equal :
   Gb_experiments.Experiments.poc_row list ->

@@ -6,19 +6,47 @@ type hooks = {
 let pure_hooks =
   { mem_extra = (fun ~addr:_ ~size:_ ~write:_ -> 0); flush_line = ignore }
 
+(* A decode-cache entry carries the instruction plus its pre-boxed
+   64-bit immediate (shifted and sign-extended once, at decode time), so
+   the Op_imm/Lui/Auipc hot paths never rebuild an [Int64] from the raw
+   immediate field. *)
+type centry = { ce_insn : Insn.t; ce_imm : int64 }
+
+(* Physical-equality sentinel for "not decoded yet". Sound because
+   {!Decode.decode} always returns a freshly allocated instruction, so no
+   real entry can be physically equal to this one; an [Insn.t option]
+   cache here would allocate a [Some] per fill and force an extra
+   indirection per fetch. *)
+let undecoded = { ce_insn = Insn.Fence; ce_imm = 0L }
+
 type t = {
   regs : int64 array;
   mem : Mem.t;
   clock : int64 ref;
   hooks : hooks;
+  has_hooks : bool;
+      (* false when [hooks == pure_hooks]: lets the hot loop skip the
+         hook calls (and the accumulator flushes that keep hook-visible
+         state exact) entirely *)
   mutable pc : int;
   mutable insn_count : int64;
   output : Buffer.t;
-  decode_cache : Insn.t option array;
+  decode_cache : centry array;
       (* per-word decode cache; sound because guest code is never
          self-modifying in this system *)
   mutable rdcycle_hook : (int64 -> int64) option;
       (* filters every rdcycle result (differential record/replay) *)
+  (* Scratch state for the allocation-free execution core: [exec_insn]
+     reports control flow through these fields instead of returning an
+     allocated record. -1 means "not set" for [x_taken]/[x_exit]. *)
+  mutable x_next : int;
+  mutable x_taken : int;
+  mutable x_exit : int;
+  (* Batched instruction/cycle counters used by {!run}: flushed into
+     [insn_count]/[clock] before anything that can observe them (hooks,
+     rdcycle, traps, exit). Always 0 outside {!run}. *)
+  mutable acc_insns : int;
+  mutable acc_cycles : int;
 }
 
 exception Trap of string
@@ -48,12 +76,21 @@ let create ?(hooks = pure_hooks) ?clock ?regs ~mem ~pc () =
     mem;
     clock;
     hooks;
+    has_hooks = hooks != pure_hooks;
     pc;
     insn_count = 0L;
     output = Buffer.create 64;
-    decode_cache = Array.make (Mem.size mem / 4) None;
+    decode_cache = Array.make (Mem.size mem / 4) undecoded;
     rdcycle_hook = None;
+    x_next = 0;
+    x_taken = -1;
+    x_exit = -1;
+    acc_insns = 0;
+    acc_cycles = 0;
   }
+
+let flush_decode_cache t =
+  Array.fill t.decode_cache 0 (Array.length t.decode_cache) undecoded
 
 type step_info = {
   s_pc : int;
@@ -63,7 +100,14 @@ type step_info = {
   s_exit : int option;
 }
 
-let sext32 v = Int64.of_int32 (Int64.to_int32 v)
+(* Sign-extend the low 32 bits entirely in the native-int domain: going
+   through [Int64.to_int32]/[of_int32] would box an intermediate int32 on
+   top of the int64 result. Bit 31 lands on bit 62 (the native sign bit)
+   after the shift, so [asr] extends it; the bits shifted out above are
+   exactly the ones a W-op discards. *)
+let sext32_int v = Int64.of_int ((v lsl 31) asr 31)
+
+let sext32 v = sext32_int (Int64.to_int v)
 
 let get t r = if r = 0 then 0L else t.regs.(r)
 
@@ -121,12 +165,17 @@ let alu_rr op a b =
   | Insn.SRA -> shift_right a (to_int b land 63)
   | Insn.OR -> logor a b
   | Insn.AND -> logand a b
-  | Insn.ADDW -> sext32 (add a b)
-  | Insn.SUBW -> sext32 (sub a b)
-  | Insn.SLLW -> sext32 (shift_left a (to_int b land 31))
+  (* the W-suffixed ALU ops only keep the low 32 bits of their result, so
+     the whole computation fits the native-int domain (truncation
+     commutes with +/-/*/shift): one box for the result instead of one
+     per Int64 intermediate *)
+  | Insn.ADDW -> sext32_int (to_int a + to_int b)
+  | Insn.SUBW -> sext32_int (to_int a - to_int b)
+  | Insn.SLLW -> sext32_int (to_int a lsl (to_int b land 31))
   | Insn.SRLW ->
-    sext32 (shift_right_logical (logand a 0xFFFFFFFFL) (to_int b land 31))
-  | Insn.SRAW -> sext32 (shift_right (sext32 a) (to_int b land 31))
+    sext32_int ((to_int a land 0xFFFFFFFF) lsr (to_int b land 31))
+  | Insn.SRAW ->
+    sext32_int (((to_int a lsl 31) asr 31) asr (to_int b land 31))
   | Insn.MUL -> mul a b
   | Insn.MULH -> mulh a b
   | Insn.MULHSU -> mulhsu a b
@@ -135,7 +184,7 @@ let alu_rr op a b =
   | Insn.DIVU -> div_unsigned a b
   | Insn.REM -> rem_signed a b
   | Insn.REMU -> rem_unsigned a b
-  | Insn.MULW -> sext32 (mul a b)
+  | Insn.MULW -> sext32_int (to_int a * to_int b)
   | Insn.DIVW ->
     let a = sext32 a and b = sext32 b in
     let q = if equal b 0L then -1L else if equal a (-2147483648L) && equal b (-1L) then a else div a b in
@@ -185,83 +234,197 @@ let eval_cond cond a b =
   | Insn.BLTU -> Int64.unsigned_compare a b < 0
   | Insn.BGEU -> Int64.unsigned_compare a b >= 0
 
+let imm_of_insn insn =
+  match insn with
+  | Insn.Op_imm (_, _, _, imm) -> Int64.of_int imm
+  | Insn.Lui (_, imm) | Insn.Auipc (_, imm) ->
+    sext32 (Int64.of_int (imm lsl 12))
+  | _ -> 0L
+
+(* Cold path of {!fetch}: decode the word and fill the cache slot. An
+   illegal encoding reached by (possibly speculatively computed) control
+   flow is a guest error, not an internal one, so it raises the same
+   clean {!Trap} as a fetch fault instead of leaking {!Decode.Illegal}. *)
+let decode_slot t pc slot =
+  match Decode.decode (Mem.load_insn_word t.mem ~addr:pc) with
+  | insn ->
+    let ce = { ce_insn = insn; ce_imm = imm_of_insn insn } in
+    t.decode_cache.(slot) <- ce;
+    ce
+  | exception Decode.Illegal word ->
+    trap "illegal instruction 0x%08x at pc 0x%x" word pc
+
 let fetch t pc =
   (* [pc lsr 2] also maps negative pcs to huge slots, so the single bound
      check rejects both ends of the range *)
   let slot = pc lsr 2 in
   if pc land 3 <> 0 || slot >= Array.length t.decode_cache then
     trap "instruction fetch fault at pc 0x%x (misaligned or out of range)" pc;
-  match t.decode_cache.(slot) with
-  | Some insn -> insn
-  | None ->
-    let insn = Decode.decode (Mem.load_insn_word t.mem ~addr:pc) in
-    t.decode_cache.(slot) <- Some insn;
-    insn
+  let ce = Array.unsafe_get t.decode_cache slot in
+  if ce != undecoded then ce else decode_slot t pc slot
 
-let step t =
-  let pc = t.pc in
-  let insn = fetch t pc in
-  let next = ref (pc + 4) in
-  let taken = ref None in
-  let exit_code = ref None in
-  let extra = ref 0 in
-  (match insn with
-  | Insn.Op_imm (op, rd, rs1, imm) ->
-    set t rd (alu_imm op (get t rs1) (Int64.of_int imm))
+let flush_acc t =
+  if t.acc_insns <> 0 then begin
+    t.insn_count <- Int64.add t.insn_count (Int64.of_int t.acc_insns);
+    t.acc_insns <- 0
+  end;
+  if t.acc_cycles <> 0 then begin
+    t.clock := Int64.add !(t.clock) (Int64.of_int t.acc_cycles);
+    t.acc_cycles <- 0
+  end
+
+(* Execute one decoded instruction; returns extra memory cycles. Control
+   flow is reported through [t.x_next]/[t.x_taken]/[t.x_exit] (pre-reset
+   by the caller) so the common case allocates nothing beyond the boxed
+   result value. [flush_acc] runs before every point that can observe the
+   architectural counters — hook calls (which may stamp observability
+   events with the clock), rdcycle — keeping batched {!run} execution
+   bit-identical to stepped execution. *)
+let exec_insn t pc ce =
+  match ce.ce_insn with
+  | Insn.Op_imm (op, rd, rs1, _) ->
+    set t rd (alu_imm op (get t rs1) ce.ce_imm);
+    0
   | Insn.Op (op, rd, rs1, rs2) ->
-    set t rd (alu_rr op (get t rs1) (get t rs2))
-  | Insn.Lui (rd, imm) -> set t rd (sext32 (Int64.of_int (imm lsl 12)))
-  | Insn.Auipc (rd, imm) ->
-    set t rd (Int64.add (Int64.of_int pc) (sext32 (Int64.of_int (imm lsl 12))))
+    set t rd (alu_rr op (get t rs1) (get t rs2));
+    0
+  | Insn.Lui (rd, _) ->
+    set t rd ce.ce_imm;
+    0
+  | Insn.Auipc (rd, _) ->
+    (* exact: both operands are far below the 63-bit native-int range,
+       so the int sum equals the Int64 sum *)
+    set t rd (Int64.of_int (pc + Int64.to_int ce.ce_imm));
+    0
   | Insn.Load (w, unsigned, rd, rs1, off) ->
-    let addr = Int64.to_int (Int64.add (get t rs1) (Int64.of_int off)) in
-    let size = width_bytes w in
-    let v = Mem.load t.mem ~addr ~size in
-    extra := t.hooks.mem_extra ~addr ~size ~write:false;
-    set t rd (if unsigned then v else sign_of_width w v)
+    let addr = Int64.to_int (get t rs1) + off in
+    (match w with
+    | Insn.D ->
+      let v = Mem.load t.mem ~addr ~size:8 in
+      let extra =
+        if t.has_hooks then begin
+          flush_acc t;
+          t.hooks.mem_extra ~addr ~size:8 ~write:false
+        end
+        else 0
+      in
+      set t rd v;
+      extra
+    | Insn.B | Insn.H | Insn.W ->
+      (* sub-word loads sign/zero-extend in the native-int domain and box
+         exactly once *)
+      let size = width_bytes w in
+      let raw = Mem.load_int t.mem ~addr ~size in
+      let extra =
+        if t.has_hooks then begin
+          flush_acc t;
+          t.hooks.mem_extra ~addr ~size ~write:false
+        end
+        else 0
+      in
+      let v =
+        if unsigned then raw
+        else
+          let sh = Sys.int_size - (8 * size) in
+          (raw lsl sh) asr sh
+      in
+      set t rd (Int64.of_int v);
+      extra)
   | Insn.Store (w, rs2, rs1, off) ->
-    let addr = Int64.to_int (Int64.add (get t rs1) (Int64.of_int off)) in
+    let addr = Int64.to_int (get t rs1) + off in
     let size = width_bytes w in
     Mem.store t.mem ~addr ~size (get t rs2);
-    extra := t.hooks.mem_extra ~addr ~size ~write:true
+    if t.has_hooks then begin
+      flush_acc t;
+      t.hooks.mem_extra ~addr ~size ~write:true
+    end
+    else 0
   | Insn.Branch (cond, rs1, rs2, off) ->
     let b = eval_cond cond (get t rs1) (get t rs2) in
-    taken := Some b;
-    if b then next := pc + off
+    t.x_taken <- (if b then 1 else 0);
+    if b then t.x_next <- pc + off;
+    0
   | Insn.Jal (rd, off) ->
     set t rd (Int64.of_int (pc + 4));
-    next := pc + off
+    t.x_next <- pc + off;
+    0
   | Insn.Jalr (rd, rs1, off) ->
-    let target =
-      Int64.to_int (Int64.add (get t rs1) (Int64.of_int off)) land lnot 1
-    in
+    let target = (Int64.to_int (get t rs1) + off) land lnot 1 in
     set t rd (Int64.of_int (pc + 4));
-    next := target
+    t.x_next <- target;
+    0
   | Insn.Ecall -> (
     match Int64.to_int (get t Reg.a7) with
-    | 93 -> exit_code := Some (Int64.to_int (get t Reg.a0) land 0xff)
+    | 93 ->
+      t.x_exit <- Int64.to_int (get t Reg.a0) land 0xff;
+      0
     | 64 ->
       Buffer.add_char t.output
-        (Char.chr (Int64.to_int (get t Reg.a0) land 0xff))
+        (Char.chr (Int64.to_int (get t Reg.a0) land 0xff));
+      0
     | n -> trap "unknown ecall %d at pc 0x%x" n pc)
-  | Insn.Fence -> ()
+  | Insn.Fence -> 0
   | Insn.Rdcycle rd ->
+    flush_acc t;
     set t rd
       (match t.rdcycle_hook with
       | Some f -> f !(t.clock)
-      | None -> !(t.clock))
-  | Insn.Cflush rs1 -> t.hooks.flush_line (Int64.to_int (get t rs1)));
-  t.pc <- !next;
+      | None -> !(t.clock));
+    0
+  | Insn.Cflush rs1 ->
+    if t.has_hooks then begin
+      flush_acc t;
+      t.hooks.flush_line (Int64.to_int (get t rs1))
+    end;
+    0
+
+let step t =
+  let pc = t.pc in
+  let ce = fetch t pc in
+  t.x_next <- pc + 4;
+  t.x_taken <- -1;
+  t.x_exit <- -1;
+  let extra = exec_insn t pc ce in
+  t.pc <- t.x_next;
   t.insn_count <- Int64.add t.insn_count 1L;
-  t.clock := Int64.add !(t.clock) (Int64.of_int (1 + !extra));
-  { s_pc = pc; s_insn = insn; s_next = !next; s_taken = !taken;
-    s_exit = !exit_code }
+  t.clock := Int64.add !(t.clock) (Int64.of_int (1 + extra));
+  {
+    s_pc = pc;
+    s_insn = ce.ce_insn;
+    s_next = t.x_next;
+    s_taken = (if t.x_taken < 0 then None else Some (t.x_taken <> 0));
+    s_exit = (if t.x_exit < 0 then None else Some t.x_exit);
+  }
 
 let run ?(max_insns = 1_000_000_000L) t =
-  let rec go () =
-    if Int64.compare t.insn_count max_insns > 0 then
-      trap "instruction budget exceeded"
-    else
-      match (step t).s_exit with Some code -> code | None -> go ()
+  (* native-int budget: clamping is exact because a simulation can never
+     execute [max_int] instructions, so "budget >= max_int" and "budget =
+     max_insns" trap at the same (unreachable) point *)
+  let budget =
+    if Int64.compare max_insns (Int64.of_int max_int) >= 0 then max_int
+    else Int64.to_int max_insns
   in
-  go ()
+  let rec go () =
+    if Int64.to_int t.insn_count + t.acc_insns > budget then begin
+      flush_acc t;
+      trap "instruction budget exceeded"
+    end;
+    let pc = t.pc in
+    let ce = fetch t pc in
+    t.x_next <- pc + 4;
+    t.x_taken <- -1;
+    t.x_exit <- -1;
+    let extra = exec_insn t pc ce in
+    t.pc <- t.x_next;
+    t.acc_insns <- t.acc_insns + 1;
+    t.acc_cycles <- t.acc_cycles + 1 + extra;
+    if t.x_exit >= 0 then begin
+      flush_acc t;
+      t.x_exit
+    end
+    else go ()
+  in
+  (* any escape (Trap, Mem.Fault) must leave [insn_count]/[clock] exactly
+     as stepped execution would: counted up to, not including, the
+     faulting instruction *)
+  try go () with e -> flush_acc t; raise e

@@ -18,15 +18,20 @@ type hooks = {
 val pure_hooks : hooks
 (** No cache: zero extra cycles, flush is a no-op. *)
 
+type centry
+(** Decode-cache entry: the decoded instruction plus its pre-boxed
+    64-bit immediate. Opaque — use {!flush_decode_cache} to invalidate. *)
+
 type t = {
   regs : int64 array;
   mem : Mem.t;
   clock : int64 ref;
   hooks : hooks;
+  has_hooks : bool;  (** false iff [hooks] is {!pure_hooks} *)
   mutable pc : int;
   mutable insn_count : int64;
   output : Buffer.t;  (** bytes written by the write ecall *)
-  decode_cache : Insn.t option array;
+  decode_cache : centry array;
       (** per-word decode cache (guest code is never self-modifying) *)
   mutable rdcycle_hook : (int64 -> int64) option;
       (** when set, every [rdcycle] result is filtered through the hook
@@ -34,6 +39,17 @@ type t = {
           records timing on the DBT side and replays it on the reference
           side, making timing a run input instead of compared state.
           [None] (default) reads the clock unfiltered. *)
+  mutable x_next : int;
+      (** scratch: next pc reported by the execution core *)
+  mutable x_taken : int;
+      (** scratch: -1 = not a branch, 0 = not taken, 1 = taken *)
+  mutable x_exit : int;  (** scratch: -1 = no exit, else exit code *)
+  mutable acc_insns : int;
+      (** instructions retired by {!run} not yet folded into
+          [insn_count]; always 0 outside {!run} *)
+  mutable acc_cycles : int;
+      (** cycles accumulated by {!run} not yet folded into [clock];
+          always 0 outside {!run} *)
 }
 
 exception Trap of string
@@ -77,12 +93,23 @@ val sign_of_width : Insn.width -> int64 -> int64
 
 val width_bytes : Insn.width -> int
 
+val flush_decode_cache : t -> unit
+(** Invalidate every decode-cache entry (fault injection uses this to
+    force a full re-decode). *)
+
 val step : t -> step_info
 (** Execute one instruction, advancing pc and the clock. Raises {!Trap} /
-    {!Mem.Fault} on errors. A misaligned or out-of-range pc raises a clean
-    {!Trap} ("instruction fetch fault") rather than an array bounds or
-    memory exception. *)
+    {!Mem.Fault} on errors. A misaligned, out-of-range or negative pc
+    (including one computed speculatively by guest code) raises a clean
+    {!Trap} ("instruction fetch fault"), and an illegal encoding raises a
+    clean {!Trap} ("illegal instruction") — never [Invalid_argument],
+    {!Decode.Illegal} or an array-bounds exception. *)
 
 val run : ?max_insns:int64 -> t -> int
 (** Run until the exit ecall; returns the exit code. Raises {!Trap} when
-    [max_insns] (default 1e9) is exceeded. *)
+    [max_insns] (default 1e9) is exceeded. Equivalent to iterating
+    {!step} but allocation-free per instruction: [insn_count] and
+    [clock] are batched internally and flushed before any point that can
+    observe them (memory-hook calls, [rdcycle], traps, and on return),
+    so hook-visible state and the final architectural state are
+    bit-identical to stepped execution. *)

@@ -7,16 +7,34 @@ let create ~size = { data = Bytes.make size '\000' }
 let size t = Bytes.length t.data
 
 let check t addr n =
-  if addr < 0 || addr + n > Bytes.length t.data then raise (Fault addr)
+  (* overflow-proof form: [addr + n > len] wraps negative for
+     attacker-controlled addresses near [max_int], letting the check pass
+     and the unsafe accessors below run out of bounds. [n > len - addr]
+     cannot overflow once [addr >= 0] is known ([n] is a small access
+     size, [len - addr <= len]). *)
+  if addr < 0 || n > Bytes.length t.data - addr then raise (Fault addr)
 
-let load t ~addr ~size =
+(* The loads below box at most one [int64] result (the 4-byte case reads
+   two unboxed 16-bit halves rather than going through a boxed [int32]),
+   and the stores box nothing: these run once per guest memory
+   instruction on both execution tiers. *)
+
+let load_int t ~addr ~size =
   check t addr size;
   match size with
-  | 1 -> Int64.of_int (Char.code (Bytes.unsafe_get t.data addr))
-  | 2 -> Int64.of_int (Bytes.get_uint16_le t.data addr)
-  | 4 -> Int64.of_int32 (Bytes.get_int32_le t.data addr)
-        |> Int64.logand 0xFFFFFFFFL
-  | 8 -> Bytes.get_int64_le t.data addr
+  | 1 -> Char.code (Bytes.unsafe_get t.data addr)
+  | 2 -> Bytes.get_uint16_le t.data addr
+  | 4 ->
+    Bytes.get_uint16_le t.data addr
+    lor (Bytes.get_uint16_le t.data (addr + 2) lsl 16)
+  | _ -> invalid_arg "Mem.load_int: size"
+
+let load t ~addr ~size =
+  match size with
+  | 1 | 2 | 4 -> Int64.of_int (load_int t ~addr ~size)
+  | 8 ->
+    check t addr size;
+    Bytes.get_int64_le t.data addr
   | _ -> invalid_arg "Mem.load: size"
 
 let store t ~addr ~size v =
@@ -24,7 +42,10 @@ let store t ~addr ~size v =
   match size with
   | 1 -> Bytes.unsafe_set t.data addr (Char.unsafe_chr (Int64.to_int v land 0xff))
   | 2 -> Bytes.set_uint16_le t.data addr (Int64.to_int v land 0xffff)
-  | 4 -> Bytes.set_int32_le t.data addr (Int64.to_int32 v)
+  | 4 ->
+    let v = Int64.to_int v in
+    Bytes.set_uint16_le t.data addr (v land 0xffff);
+    Bytes.set_uint16_le t.data (addr + 2) ((v lsr 16) land 0xffff)
   | 8 -> Bytes.set_int64_le t.data addr v
   | _ -> invalid_arg "Mem.store: size"
 

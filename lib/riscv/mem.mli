@@ -13,6 +13,11 @@ val size : t -> int
 val load : t -> addr:int -> size:int -> int64
 (** Little-endian load of 1, 2, 4 or 8 bytes, zero-extended. *)
 
+val load_int : t -> addr:int -> size:int -> int
+(** Allocation-free little-endian load of 1, 2 or 4 bytes, zero-extended
+    into a native int (the hot sub-word load path of both execution
+    tiers). *)
+
 val store : t -> addr:int -> size:int -> int64 -> unit
 (** Little-endian store of the low [size] bytes of the value. *)
 

@@ -279,6 +279,8 @@ let hierarchy t = t.hier
 
 let engine t = t.engine
 
+let allocs t = Gb_dbt.Engine.allocs t.engine
+
 let obs t = t.obs
 
 let audit t = t.audit
@@ -315,11 +317,11 @@ let result_of t exit_code =
     exit_code;
     cycles = !(t.clock);
     interp_insns = t.interp.Gb_riscv.Interp.insn_count;
-    trace_runs = ms.Gb_vliw.Machine.trace_runs;
-    bundles = ms.Gb_vliw.Machine.bundles;
-    side_exits = ms.Gb_vliw.Machine.side_exits;
-    rollbacks = ms.Gb_vliw.Machine.rollbacks;
-    stall_cycles = ms.Gb_vliw.Machine.stall_cycles;
+    trace_runs = Int64.of_int ms.Gb_vliw.Machine.trace_runs;
+    bundles = Int64.of_int ms.Gb_vliw.Machine.bundles;
+    side_exits = Int64.of_int ms.Gb_vliw.Machine.side_exits;
+    rollbacks = Int64.of_int ms.Gb_vliw.Machine.rollbacks;
+    stall_cycles = Int64.of_int ms.Gb_vliw.Machine.stall_cycles;
     translations = es.Gb_dbt.Engine.translations;
     first_pass_translations = es.Gb_dbt.Engine.first_pass_translations;
     patterns_found = es.Gb_dbt.Engine.patterns_found;
@@ -330,10 +332,10 @@ let result_of t exit_code =
     verify_violations = es.Gb_dbt.Engine.verify_violations;
     verify_rejections = es.Gb_dbt.Engine.verify_rejections;
     dispatch_exits = !(t.dispatch_exits);
-    chain_follows = ms.Gb_vliw.Machine.chain_follows;
+    chain_follows = Int64.of_int ms.Gb_vliw.Machine.chain_follows;
     guest_insns =
       Int64.add t.interp.Gb_riscv.Interp.insn_count
-        ms.Gb_vliw.Machine.guest_insns;
+        (Int64.of_int ms.Gb_vliw.Machine.guest_insns);
     cc_evictions =
       (Gb_dbt.Code_cache.stats (Gb_dbt.Engine.code_cache t.engine)).Gb_dbt
       .Code_cache.evictions;
@@ -385,9 +387,7 @@ let run t =
       | Some inj when Inject.fire inj Inject.Decode_flush ->
         (* decode-cache poisoning fault: drop every decoded entry, the
            interpreter must re-decode from guest memory *)
-        Array.fill t.interp.Gb_riscv.Interp.decode_cache 0
-          (Array.length t.interp.Gb_riscv.Interp.decode_cache)
-          None
+        Gb_riscv.Interp.flush_decode_cache t.interp
       | _ -> ());
       loop ()
     | None -> (

@@ -102,6 +102,12 @@ val machine : t -> Gb_vliw.Machine.t
 val inject : t -> Inject.t option
 (** The armed fault controller, if any. *)
 
+val allocs : t -> Gb_obs.Allocs.t
+(** The engine's execution-allocation accumulator
+    ({!Gb_dbt.Engine.allocs}): start it before {!run} and stop it after
+    to measure the run's execution-tier minor-heap allocation, with the
+    translation pipeline excluded. *)
+
 val set_on_trace_exit : t -> (Gb_vliw.Pipeline.exit_info -> unit) -> unit
 (** Install an observer fired exactly once per trace exit (dispatch-loop
     exits and chained transfers alike), after the exit stub committed

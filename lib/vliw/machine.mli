@@ -22,17 +22,20 @@ val default_config : config
     fuel 4096. *)
 
 type stats = {
-  mutable bundles : int64;
-  mutable trace_runs : int64;
-  mutable side_exits : int64;
-  mutable rollbacks : int64;
-  mutable stall_cycles : int64;
-  mutable chain_follows : int64;
+  mutable bundles : int;
+  mutable trace_runs : int;
+  mutable side_exits : int;
+  mutable rollbacks : int;
+  mutable stall_cycles : int;
+  mutable chain_follows : int;
       (** chained transfers taken without returning to the dispatcher *)
-  mutable guest_insns : int64;
+  mutable guest_insns : int;
       (** guest instructions covered by executed traces (full-pass upper
           estimate: an early side exit still counts the whole trace) *)
 }
+(** Native-int counters ([int64] fields would box per increment on the
+    hot path); {!Gb_system.Processor} widens them to [int64] in its
+    result record. *)
 
 type t = {
   cfg : config;
@@ -69,6 +72,32 @@ type t = {
           replayed into the reference interpreter, which turns timing
           into a run {e input} instead of compared state. [None]
           (default) reads the clock unfiltered. *)
+  mutable w_dst : int array;
+      (** scratch (owned by {!Pipeline}): parallel-write destinations *)
+  mutable w_val : int64 array;  (** scratch: parallel-write values *)
+  mutable w_taint : bool array;  (** scratch: parallel-write taint bits *)
+  mutable n_writes : int;  (** scratch: live prefix of the write buffer *)
+  mutable stall : int;  (** scratch: stall cycles of the current bundle *)
+  mutable taken_stub : int;  (** scratch: taken stub index, -1 = none *)
+  mutable taken_kind : Vinsn.exit_kind;  (** scratch: kind of taken exit *)
+  taint : bool array;
+      (** per-run register taint (speculative-load propagation), live
+          only while [taint_on] *)
+  mutable taint_on : bool;
+      (** whether [taint] is being maintained (an audit is attached) *)
+  mutable acc_bundles : int;
+      (** scratch: bundles not yet folded into [stats.bundles] *)
+  mutable acc_stalls : int;
+      (** scratch: stall cycles not yet folded into [stats.stall_cycles] *)
+  mutable acc_cycles : int;
+      (** scratch: cycles not yet folded into [clock]; always 0 outside
+          {!Pipeline.run_one} *)
+  mutable eager : bool;
+      (** flush the accumulators every bundle (an observer — active
+          sink, audit — could read the clock mid-run) *)
+  exit_scratch : Vinsn.exit_info;
+      (** scratch: the one exit record every pipeline pass refills and
+          returns (see {!Vinsn.exit_info} on its lifetime) *)
 }
 
 val create :
@@ -85,3 +114,11 @@ val create :
     shared with the interpreter, which only uses the first 32 slots).
     [obs] (default {!Gb_obs.Sink.noop}) receives the [vliw.*] counters and
     rollback/conflict events of {!Pipeline} and {!Mcb}. *)
+
+val ensure_write_capacity : t -> int -> unit
+(** Grow the parallel-write scratch buffer to at least [n] slots;
+    allocation-free once the buffer is large enough. *)
+
+val flush_acc : t -> unit
+(** Fold the batched bundle/stall/cycle accumulators into
+    [stats]/[clock]. No-op when they are already 0. *)

@@ -43,7 +43,9 @@ let alloc t ~tag ~addr ~size =
 
 let overlap a1 s1 a2 s2 = a1 < a2 + s2 && a2 < a1 + s1
 
-let store_probe t ?(pc = 0) ~addr ~size () =
+(* [pc] is a required label: an optional argument here would box a
+   [Some pc] on every store the pipeline executes *)
+let store_probe t ~pc ~addr ~size =
   for tag = 0 to Array.length t.addrs - 1 do
     if t.live.(tag) && not t.conflict.(tag)
        && overlap addr size t.addrs.(tag) t.sizes.(tag)

@@ -34,8 +34,11 @@ val alloc : t -> tag:int -> addr:int -> size:int -> unit
     conflict bit. Out-of-range tags (always the case when disabled) are
     ignored. *)
 
-val store_probe : t -> ?pc:int -> addr:int -> size:int -> unit -> unit
-(** Called by every store: marks every live entry overlapping the range. *)
+val store_probe : t -> pc:int -> addr:int -> size:int -> unit
+(** Called by every store: marks every live entry overlapping the range.
+    [pc] is the store's guest pc (attribution; pass 0 when unknown). It
+    is a required label so the per-store hot path never boxes an
+    optional argument. *)
 
 val check : t -> tag:int -> bool
 (** Consume entry [tag]; returns [true] iff a conflict was recorded.

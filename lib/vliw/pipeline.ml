@@ -1,10 +1,10 @@
 type exit_kind = Vinsn.exit_kind = Fallthrough | Side_exit | Rollback
 
 type exit_info = Vinsn.exit_info = {
-  next_pc : int;
-  kind : exit_kind;
-  exit_entry : int;
-  taken_stub : int;
+  mutable next_pc : int;
+  mutable kind : exit_kind;
+  mutable exit_entry : int;
+  mutable taken_stub : int;
 }
 
 exception Machine_error of string
@@ -14,6 +14,18 @@ let error fmt = Printf.ksprintf (fun s -> raise (Machine_error s)) fmt
 let eval regs = function
   | Vinsn.R r -> if r = 0 then 0L else regs.(r)
   | Vinsn.I v -> v
+
+let rec count_fences bundle i acc =
+  if i >= Array.length bundle then acc
+  else
+    count_fences bundle (i + 1)
+      (match bundle.(i) with Vinsn.Fence -> acc + 1 | _ -> acc)
+
+let rec count_nops bundle i acc =
+  if i >= Array.length bundle then acc
+  else
+    count_nops bundle (i + 1)
+      (match bundle.(i) with Vinsn.Nop -> acc + 1 | _ -> acc)
 
 (* Attribute the one issue cycle of a bundle at slot granularity: each of
    the [width] slots owns [scale / width] fixed-point units. Useful ops
@@ -26,24 +38,18 @@ let eval regs = function
    up to 16); any remainder units go to committed work so conservation
    stays an integer identity. *)
 let attribute_bundle a ~mitigated ~cut ~width ~pc bundle =
-  let fences = ref 0 and nops = ref 0 in
-  Array.iter
-    (fun op ->
-      match op with
-      | Vinsn.Fence -> incr fences
-      | Vinsn.Nop -> incr nops
-      | _ -> ())
-    bundle;
+  let fences = count_fences bundle 0 0 in
+  let nops = count_nops bundle 0 0 in
   let module At = Gb_obs.Attrib in
   let per_slot = At.scale / width in
   let rem = At.scale - (per_slot * width) in
-  let useful = width - !fences - !nops in
+  let useful = width - fences - nops in
   let committed, fence_stall, lost_ilp =
-    if mitigated && !fences > 0 then
+    if mitigated && fences > 0 then
       (* the mitigation fenced this bundle: the fence slots and the
          bubbles it forces alongside are both fence cost *)
-      (useful, !fences + !nops, 0)
-    else (useful + !fences, 0, !nops)
+      (useful, fences + nops, 0)
+    else (useful + fences, 0, nops)
   in
   (* a min-cut-protected trace's bubbles are serialization the repairs
      forced, not generic lost ILP: bill them to their own bucket so
@@ -53,9 +59,197 @@ let attribute_bundle a ~mitigated ~cut ~width ~pc bundle =
   At.add_here a At.Fence_stall ~pc ~units:(fence_stall * per_slot);
   At.add_here a lost_cause ~pc ~units:(lost_ilp * per_slot)
 
-(* Execute one pass over a trace. The mutable per-cycle state is kept in
-   local refs; register writes are buffered and applied at end of cycle to
-   get the parallel-read semantics right. *)
+(* The per-bundle helpers below are top-level functions over the scratch
+   state hoisted into {!Machine.t} (write buffer, stall counter, taken
+   exit, taint map): defining them inside [run_one] — as closures over
+   local refs — used to allocate a closure set per trace run and a
+   ref/option/tuple churn per bundle. *)
+
+let tainted (m : Machine.t) op =
+  match op with
+  | Vinsn.R r -> m.taint_on && r <> 0 && m.taint.(r)
+  | Vinsn.I _ -> false
+
+let push_write (m : Machine.t) ~taint dst v =
+  if dst <> 0 then begin
+    let n = m.n_writes in
+    for i = 0 to n - 1 do
+      if m.w_dst.(i) = dst then error "duplicate write to register %d" dst
+    done;
+    m.w_dst.(n) <- dst;
+    m.w_val.(n) <- v;
+    m.w_taint.(n) <- taint;
+    m.n_writes <- n + 1
+  end
+
+let take (m : Machine.t) stub kind =
+  if m.taken_stub >= 0 then error "two control operations taken in one bundle";
+  m.taken_stub <- stub;
+  m.taken_kind <- kind
+
+let touch_cache (m : Machine.t) ~pc ~addr ~size ~write =
+  if addr >= 0 then begin
+    let hit = Gb_cache.Hierarchy.access m.hier ~addr ~size ~write in
+    let cost = Gb_cache.Hierarchy.vliw_cost m.hier ~hit in
+    m.stall <- m.stall + cost;
+    if cost > 0 then
+      match Gb_obs.Sink.attrib m.obs with
+      | Some a ->
+        Gb_obs.Attrib.add_here_cycles a Gb_obs.Attrib.Cache_miss_stall ~pc
+          ~cycles:cost
+      | None -> ()
+  end
+
+let exec_op (m : Machine.t) op =
+  let open Vinsn in
+  match op with
+  | Nop | Fence -> ()
+  | Alu { op; dst; a; b } ->
+    push_write m ~taint:(tainted m a || tainted m b) dst
+      (Gb_riscv.Interp.alu_rr op (eval m.regs a) (eval m.regs b))
+  | Mv { dst; src } -> push_write m ~taint:(tainted m src) dst (eval m.regs src)
+  | Rdcycle { dst } ->
+    (* the natural reading is the clock at bundle issue — the batched
+       cycles of all previous bundles must be folded in first *)
+    Machine.flush_acc m;
+    let now = !(m.clock) in
+    push_write m ~taint:false dst
+      (match m.rdcycle_hook with
+      | Some f -> f now
+      | None -> now)
+  | Load { w; unsigned; dst; base; off; spec; id; pc; hoisted } ->
+    let addr = Int64.to_int (eval m.regs base) + off in
+    let size = Gb_riscv.Interp.width_bytes w in
+    let mem_size = Gb_riscv.Mem.size m.mem in
+    touch_cache m ~pc ~addr ~size ~write:false;
+    (match spec with
+    | Some tag -> Mcb.alloc m.mcb ~tag ~addr ~size
+    | None -> ());
+    let speculative = hoisted || spec <> None in
+    (match m.audit with
+    | Some a when addr >= 0 ->
+      Gb_cache.Audit.run_access a ~id ~pc ~addr ~size ~write:false ~speculative
+        ~dependent:(tainted m base)
+    | Some _ | None -> ());
+    let taint = speculative || tainted m base in
+    (* Deferred-fault semantics for speculative loads; the bound check is
+       overflow-proof ([addr + size] wraps negative near [max_int], which
+       would let a speculatively computed address dodge the fault path).
+       Each branch hands its value straight to [push_write]: binding the
+       loaded value in a [let] across the fault/width branches makes the
+       compiler unbox the join and re-box at the use site — one extra
+       minor block per load on the hot path. *)
+    if addr < 0 || size > mem_size - addr then push_write m ~taint dst 0L
+    else begin
+      match w with
+      | Gb_riscv.Insn.D ->
+        push_write m ~taint dst (Gb_riscv.Mem.load m.mem ~addr ~size:8)
+      | Gb_riscv.Insn.B | Gb_riscv.Insn.H | Gb_riscv.Insn.W ->
+        (* sub-word loads extend in the native-int domain: one box *)
+        let raw = Gb_riscv.Mem.load_int m.mem ~addr ~size in
+        push_write m ~taint dst
+          (if unsigned then Int64.of_int raw
+           else
+             let sh = Sys.int_size - (8 * size) in
+             Int64.of_int ((raw lsl sh) asr sh))
+    end
+  | Store { w; src; base; off; id; pc } ->
+    let addr = Int64.to_int (eval m.regs base) + off in
+    let size = Gb_riscv.Interp.width_bytes w in
+    Gb_riscv.Mem.store m.mem ~addr ~size (eval m.regs src);
+    touch_cache m ~pc ~addr ~size ~write:true;
+    Mcb.store_probe m.mcb ~pc ~addr ~size;
+    (match m.audit with
+    | Some a when addr >= 0 ->
+      Gb_cache.Audit.run_access a ~id ~pc ~addr ~size ~write:true
+        ~speculative:false ~dependent:false
+    | Some _ | None -> ())
+  | Branch { cond; a; b; stub } ->
+    if Gb_riscv.Interp.eval_cond cond (eval m.regs a) (eval m.regs b) then
+      take m stub Side_exit
+  | Chk { tag; stub } -> if Mcb.check m.mcb ~tag then take m stub Rollback
+  | Cflush { base; off; id; pc } ->
+    let addr = Int64.to_int (eval m.regs base) + off in
+    if addr >= 0 then begin
+      Gb_cache.Hierarchy.flush_line m.hier addr;
+      match m.audit with
+      | Some a -> Gb_cache.Audit.run_flush a ~id ~pc ~addr
+      | None -> ()
+    end
+  | Exit { stub } -> take m stub Fallthrough
+
+let rec apply_commits (m : Machine.t) commits =
+  match commits with
+  | [] -> ()
+  | (dst, src) :: rest ->
+    if dst = 0 || dst >= Vinsn.guest_regs then
+      error "stub commit to non-guest register %d" dst;
+    m.regs.(dst) <- eval m.regs src;
+    apply_commits m rest
+
+let finish (m : Machine.t) (trace : Vinsn.trace) ~width ~bundle_idx stub_idx
+    kind =
+  let open Vinsn in
+  (* the run is over. Observers (the audit's end-of-run diff, event
+     stamping through an active sink) must see the exact pre-commit
+     clock, so flush for them here; without one the accumulators keep
+     batching and fold exactly once below, after the commit/penalty
+     booking — one int64 materialisation per run instead of two *)
+  if m.audit <> None || Gb_obs.Sink.is_active m.obs then Machine.flush_acc m;
+  let stub = trace.stubs.(stub_idx) in
+  (match m.audit with
+  | Some a -> Gb_cache.Audit.end_run a ~exit_id:stub.exit_id
+  | None -> ());
+  apply_commits m stub.commits;
+  let commit_cycles = (stub.n_commits + width - 1) / width in
+  (* a fall-through exit is block chaining — sequential fetch, no
+     pipeline flush; only mispredicted side exits and MCB rollbacks pay
+     the refill penalty *)
+  let penalty =
+    match kind with
+    | Fallthrough -> 0
+    | Side_exit | Rollback -> m.cfg.exit_penalty
+  in
+  m.acc_cycles <- m.acc_cycles + commit_cycles + penalty;
+  Machine.flush_acc m;
+  (match Gb_obs.Sink.attrib m.obs with
+  | Some a ->
+    let module At = Gb_obs.Attrib in
+    if commit_cycles > 0 then
+      At.add_here_cycles a At.Committed_work ~pc:trace.entry_pc
+        ~cycles:commit_cycles;
+    if penalty > 0 then
+      (* a chained transfer reclassifies this to Chain_transfer in
+         [run] below, once the link is known to be followed *)
+      At.add_here_cycles a
+        (match kind with Rollback -> At.Mcb_rollback | _ -> At.Dispatcher_exit)
+        ~pc:stub.target_pc ~cycles:penalty
+  | None -> ());
+  (match kind with
+  | Side_exit -> m.stats.side_exits <- m.stats.side_exits + 1
+  | Rollback -> m.stats.rollbacks <- m.stats.rollbacks + 1
+  | Fallthrough -> ());
+  if Gb_obs.Sink.is_active m.obs then begin
+    let region = trace.entry_pc in
+    (match kind with
+    | Side_exit -> Gb_obs.Sink.incr m.obs "vliw.side_exits"
+    | Rollback ->
+      Gb_obs.Sink.incr m.obs "vliw.rollbacks";
+      Gb_obs.Sink.event m.obs ~pc:stub.target_pc ~region Gb_obs.Event.Rollback
+    | Fallthrough -> Gb_obs.Sink.incr m.obs "vliw.fallthroughs");
+    (* how deep into the trace the run got before leaving *)
+    Gb_obs.Sink.observe m.obs "vliw.exit_bundle" (float_of_int (bundle_idx + 1))
+  end;
+  let r = m.exit_scratch in
+  r.next_pc <- stub.target_pc;
+  r.kind <- kind;
+  r.exit_entry <- trace.entry_pc;
+  r.taken_stub <- stub_idx;
+  r
+
+(* Execute one pass over a trace. The mutable per-cycle state lives in
+   the machine's scratch fields; register writes are buffered and applied
+   at end of cycle to get the parallel-read semantics right. *)
 let run_one (m : Machine.t) (trace : Vinsn.trace) =
   let open Vinsn in
   if Array.length m.regs < trace.n_regs then
@@ -75,9 +269,8 @@ let run_one (m : Machine.t) (trace : Vinsn.trace) =
   | Some a -> Gb_obs.Attrib.enter a ~entry:trace.entry_pc
   | None -> ());
   Mcb.clear m.mcb;
-  m.stats.trace_runs <- Int64.add m.stats.trace_runs 1L;
-  m.stats.guest_insns <-
-    Int64.add m.stats.guest_insns (Int64.of_int trace.guest_insns);
+  m.stats.trace_runs <- m.stats.trace_runs + 1;
+  m.stats.guest_insns <- m.stats.guest_insns + trace.guest_insns;
   Gb_obs.Sink.incr m.obs "vliw.trace_runs";
   (match m.audit with
   | Some a -> Gb_cache.Audit.begin_run a ~region:trace.entry_pc
@@ -86,192 +279,47 @@ let run_one (m : Machine.t) (trace : Vinsn.trace) =
      propagated through Alu/Mv, read to decide whether a load's address
      was derived from speculatively loaded data (the leak condition the
      audit scores). Dead weight unless an audit is attached. *)
-  let taint =
-    match m.audit with
-    | Some _ -> Array.make (Array.length m.regs) false
-    | None -> [||]
-  in
-  let tainted = function
-    | Vinsn.R r -> r <> 0 && Array.length taint > 0 && taint.(r)
-    | Vinsn.I _ -> false
-  in
-  let writes = Array.make (width * 2) (-1, 0L) in
-  let wtaint = Array.make (width * 2) false in
-  let n_writes = ref 0 in
-  let push_write ?(taint = false) dst v =
-    if dst <> 0 then begin
-      for i = 0 to !n_writes - 1 do
-        if fst writes.(i) = dst then error "duplicate write to register %d" dst
-      done;
-      writes.(!n_writes) <- (dst, v);
-      wtaint.(!n_writes) <- taint;
-      incr n_writes
-    end
-  in
-  let stall = ref 0 in
-  let taken_stub = ref None in
-  let take stub kind =
-    (match !taken_stub with
-    | Some _ -> error "two control operations taken in one bundle"
-    | None -> ());
-    taken_stub := Some (stub, kind)
-  in
-  let mem_size = Gb_riscv.Mem.size m.mem in
-  let load_value ~addr ~size =
-    (* deferred-fault semantics for speculative loads *)
-    if addr >= 0 && addr + size <= mem_size then
-      Gb_riscv.Mem.load m.mem ~addr ~size
-    else 0L
-  in
-  let touch_cache ~pc ~addr ~size ~write =
-    if addr >= 0 then begin
-      let hit = Gb_cache.Hierarchy.access m.hier ~addr ~size ~write in
-      let cost = Gb_cache.Hierarchy.vliw_cost m.hier ~hit in
-      stall := !stall + cost;
-      if cost > 0 then
-        match attrib with
-        | Some a ->
-          Gb_obs.Attrib.add_here_cycles a Gb_obs.Attrib.Cache_miss_stall ~pc
-            ~cycles:cost
-        | None -> ()
-    end
-  in
-  let exec_op clock_now op =
-    match op with
-    | Nop | Fence -> ()
-    | Alu { op; dst; a; b } ->
-      push_write ~taint:(tainted a || tainted b) dst
-        (Gb_riscv.Interp.alu_rr op (eval m.regs a) (eval m.regs b))
-    | Mv { dst; src } -> push_write ~taint:(tainted src) dst (eval m.regs src)
-    | Rdcycle { dst } ->
-      push_write dst
-        (match m.rdcycle_hook with
-        | Some f -> f clock_now
-        | None -> clock_now)
-    | Load { w; unsigned; dst; base; off; spec; id; pc; hoisted } ->
-      let addr = Int64.to_int (Int64.add (eval m.regs base) (Int64.of_int off)) in
-      let size = Gb_riscv.Interp.width_bytes w in
-      let raw = load_value ~addr ~size in
-      let v = if unsigned then raw else Gb_riscv.Interp.sign_of_width w raw in
-      touch_cache ~pc ~addr ~size ~write:false;
-      (match spec with
-      | Some tag -> Mcb.alloc m.mcb ~tag ~addr ~size
-      | None -> ());
-      let speculative = hoisted || spec <> None in
-      (match m.audit with
-      | Some a when addr >= 0 ->
-        Gb_cache.Audit.run_access a ~id ~pc ~addr ~size ~write:false
-          ~speculative ~dependent:(tainted base)
-      | Some _ | None -> ());
-      push_write ~taint:(speculative || tainted base) dst v
-    | Store { w; src; base; off; id; pc } ->
-      let addr = Int64.to_int (Int64.add (eval m.regs base) (Int64.of_int off)) in
-      let size = Gb_riscv.Interp.width_bytes w in
-      Gb_riscv.Mem.store m.mem ~addr ~size (eval m.regs src);
-      touch_cache ~pc ~addr ~size ~write:true;
-      Mcb.store_probe m.mcb ~pc ~addr ~size ();
-      (match m.audit with
-      | Some a when addr >= 0 ->
-        Gb_cache.Audit.run_access a ~id ~pc ~addr ~size ~write:true
-          ~speculative:false ~dependent:false
-      | Some _ | None -> ())
-    | Branch { cond; a; b; stub } ->
-      if Gb_riscv.Interp.eval_cond cond (eval m.regs a) (eval m.regs b) then
-        take stub Side_exit
-    | Chk { tag; stub } ->
-      if Mcb.check m.mcb ~tag then take stub Rollback
-    | Cflush { base; off; id; pc } ->
-      let addr = Int64.to_int (Int64.add (eval m.regs base) (Int64.of_int off)) in
-      if addr >= 0 then begin
-        Gb_cache.Hierarchy.flush_line m.hier addr;
-        match m.audit with
-        | Some a -> Gb_cache.Audit.run_flush a ~id ~pc ~addr
-        | None -> ()
-      end
-    | Exit { stub } -> take stub Fallthrough
-  in
-  let finish ~bundle_idx stub_idx kind =
-    let stub = trace.stubs.(stub_idx) in
-    (match m.audit with
-    | Some a -> Gb_cache.Audit.end_run a ~exit_id:stub.exit_id
-    | None -> ());
-    List.iter
-      (fun (dst, src) ->
-        if dst = 0 || dst >= guest_regs then
-          error "stub commit to non-guest register %d" dst;
-        m.regs.(dst) <- eval m.regs src)
-      stub.commits;
-    let commit_cycles = (List.length stub.commits + width - 1) / width in
-    (* a fall-through exit is block chaining — sequential fetch, no
-       pipeline flush; only mispredicted side exits and MCB rollbacks pay
-       the refill penalty *)
-    let penalty =
-      match kind with
-      | Fallthrough -> 0
-      | Side_exit | Rollback -> m.cfg.exit_penalty
-    in
-    m.clock := Int64.add !(m.clock) (Int64.of_int (commit_cycles + penalty));
-    (match attrib with
-    | Some a ->
-      let module At = Gb_obs.Attrib in
-      if commit_cycles > 0 then
-        At.add_here_cycles a At.Committed_work ~pc:trace.entry_pc
-          ~cycles:commit_cycles;
-      if penalty > 0 then
-        (* a chained transfer reclassifies this to Chain_transfer in
-           [run] below, once the link is known to be followed *)
-        At.add_here_cycles a
-          (match kind with Rollback -> At.Mcb_rollback | _ -> At.Dispatcher_exit)
-          ~pc:stub.target_pc ~cycles:penalty
-    | None -> ());
-    (match kind with
-    | Side_exit -> m.stats.side_exits <- Int64.add m.stats.side_exits 1L
-    | Rollback -> m.stats.rollbacks <- Int64.add m.stats.rollbacks 1L
-    | Fallthrough -> ());
-    if Gb_obs.Sink.is_active m.obs then begin
-      let region = trace.entry_pc in
-      (match kind with
-      | Side_exit -> Gb_obs.Sink.incr m.obs "vliw.side_exits"
-      | Rollback ->
-        Gb_obs.Sink.incr m.obs "vliw.rollbacks";
-        Gb_obs.Sink.event m.obs ~pc:stub.target_pc ~region Gb_obs.Event.Rollback
-      | Fallthrough -> Gb_obs.Sink.incr m.obs "vliw.fallthroughs");
-      (* how deep into the trace the run got before leaving *)
-      Gb_obs.Sink.observe m.obs "vliw.exit_bundle" (float_of_int (bundle_idx + 1))
-    end;
-    { next_pc = stub.target_pc; kind; exit_entry = trace.entry_pc;
-      taken_stub = stub_idx }
-  in
+  m.taint_on <- (match m.audit with Some _ -> true | None -> false);
+  if m.taint_on then Array.fill m.taint 0 (Array.length m.taint) false;
+  Machine.ensure_write_capacity m (width * 2);
+  (* an active sink stamps events (cache misses, MCB conflicts) with the
+     clock mid-run, and an audit diffs shadow state per run: both need
+     the pre-batching per-bundle flush; otherwise the accumulators are
+     invisible until the next flush point and bundle advance allocates
+     nothing *)
+  m.eager <- Gb_obs.Sink.is_active m.obs || m.taint_on || attrib <> None;
   let n = Array.length trace.bundles in
   let rec cycle i =
     if i >= n then error "trace fell off the end without an Exit op"
     else begin
       let bundle = trace.bundles.(i) in
-      n_writes := 0;
-      stall := 0;
-      taken_stub := None;
-      let clock_now = !(m.clock) in
-      Array.iter (exec_op clock_now) bundle;
-      for k = 0 to !n_writes - 1 do
-        let dst, v = writes.(k) in
-        m.regs.(dst) <- v;
-        if Array.length taint > 0 then taint.(dst) <- wtaint.(k)
+      m.n_writes <- 0;
+      m.stall <- 0;
+      m.taken_stub <- -1;
+      for k = 0 to Array.length bundle - 1 do
+        exec_op m bundle.(k)
       done;
-      m.stats.bundles <- Int64.add m.stats.bundles 1L;
-      m.stats.stall_cycles <- Int64.add m.stats.stall_cycles (Int64.of_int !stall);
-      m.clock := Int64.add !(m.clock) (Int64.of_int (1 + !stall));
+      for k = 0 to m.n_writes - 1 do
+        let dst = m.w_dst.(k) in
+        m.regs.(dst) <- m.w_val.(k);
+        if m.taint_on then m.taint.(dst) <- m.w_taint.(k)
+      done;
+      m.acc_bundles <- m.acc_bundles + 1;
+      m.acc_stalls <- m.acc_stalls + m.stall;
+      m.acc_cycles <- m.acc_cycles + 1 + m.stall;
+      if m.eager then Machine.flush_acc m;
       (* the cache-miss part of this advance was attributed op-by-op in
          touch_cache; the one issue cycle splits across the slots here *)
       (match attrib with
       | Some a ->
         attribute_bundle a ~mitigated ~cut ~width ~pc:trace.entry_pc bundle
       | None -> ());
-      match !taken_stub with
-      | Some (stub, kind) -> finish ~bundle_idx:i stub kind
-      | None -> cycle (i + 1)
+      if m.taken_stub >= 0 then
+        finish m trace ~width ~bundle_idx:i m.taken_stub m.taken_kind
+      else cycle (i + 1)
     end
   in
-  cycle 0
+  try cycle 0 with e -> Machine.flush_acc m; raise e
 
 (* Run a trace and follow chain links: when the taken stub was patched by
    the code cache, transfer straight into the successor instead of
@@ -314,7 +362,7 @@ let run (m : Machine.t) (trace : Vinsn.trace) =
                 ~to_:Gb_obs.Attrib.Chain_transfer ~pc:info.next_pc
                 ~cycles:m.cfg.exit_penalty
             | _ -> ());
-            m.stats.chain_follows <- Int64.add m.stats.chain_follows 1L;
+            m.stats.chain_follows <- m.stats.chain_follows + 1;
             if Gb_obs.Sink.is_active m.obs then begin
               Gb_obs.Sink.incr m.obs "code_cache.chain_follows";
               Gb_obs.Sink.event m.obs ~pc:info.next_pc

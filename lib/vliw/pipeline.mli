@@ -20,10 +20,10 @@
 type exit_kind = Vinsn.exit_kind = Fallthrough | Side_exit | Rollback
 
 type exit_info = Vinsn.exit_info = {
-  next_pc : int;
-  kind : exit_kind;
-  exit_entry : int;
-  taken_stub : int;
+  mutable next_pc : int;
+  mutable kind : exit_kind;
+  mutable exit_entry : int;
+  mutable taken_stub : int;
 }
 (** Re-exported from {!Vinsn} (defined there so {!Machine} can carry the
     chain callback without a dependency cycle); existing call sites using

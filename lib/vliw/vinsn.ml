@@ -64,6 +64,9 @@ let empty_meta =
    directly into the successor trace (trace chaining) *)
 type stub = {
   commits : (reg * operand) list;
+  n_commits : int;
+      (* [List.length commits], precomputed at construction so the
+         pipeline's exit path doesn't walk the list per trace exit *)
   target_pc : int;
   exit_id : int;
   mutable chain : trace option;
@@ -78,13 +81,21 @@ and trace = {
   meta : meta;
 }
 
+let make_stub ?(exit_id = max_int) ~commits ~target_pc () =
+  { commits; n_commits = List.length commits; target_pc; exit_id;
+    chain = None }
+
 type exit_kind = Fallthrough | Side_exit | Rollback
 
+(* Mutable so {!Machine} can own one scratch record that every pipeline
+   pass refills: allocating a fresh exit_info per trace run is measurable
+   on the hot loop. Consumers read it synchronously before the next run;
+   anything that must retain an exit must copy the fields out. *)
 type exit_info = {
-  next_pc : int;
-  kind : exit_kind;
-  exit_entry : int;
-  taken_stub : int;
+  mutable next_pc : int;
+  mutable kind : exit_kind;
+  mutable exit_entry : int;
+  mutable taken_stub : int;
 }
 
 let bundle_count trace = Array.length trace.bundles

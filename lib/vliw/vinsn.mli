@@ -78,6 +78,10 @@ val empty_meta : meta
 type stub = {
   commits : (reg * operand) list;
       (** guest register <- operand, applied in order *)
+  n_commits : int;
+      (** [List.length commits], precomputed at construction
+          ({!make_stub}) so the pipeline's exit path never walks the
+          list *)
   target_pc : int;  (** guest pc to resume at *)
   exit_id : int;
       (** DFG node id of the exit this stub belongs to: memory ops with a
@@ -101,18 +105,29 @@ and trace = {
   meta : meta;
 }
 
+val make_stub :
+  ?exit_id:int -> commits:(reg * operand) list -> target_pc:int -> unit -> stub
+(** Build a stub with [n_commits] precomputed and [chain = None].
+    [exit_id] defaults to [max_int] (every memory op committed). *)
+
 (** How a pipeline pass over a trace ended. Defined here (not in
     {!Pipeline}, which re-exports it) so {!Machine} can carry the
     chain-transfer callback without a dependency cycle. *)
 type exit_kind = Fallthrough | Side_exit | Rollback
 
+(** Fields are mutable: {!Machine} owns one scratch [exit_info] that each
+    pipeline pass refills in place, so a trace run allocates nothing to
+    report its exit. The record returned by [Pipeline.run]/[run_one] is
+    only valid until the next pass over that machine — copy the fields
+    out to retain an exit. *)
 type exit_info = {
-  next_pc : int;  (** guest pc to resume at *)
-  kind : exit_kind;
-  exit_entry : int;
+  mutable next_pc : int;  (** guest pc to resume at *)
+  mutable kind : exit_kind;
+  mutable exit_entry : int;
       (** entry pc of the trace whose stub produced this exit — differs
           from the dispatched pc once chained transfers are followed *)
-  taken_stub : int;  (** index of the taken stub in [exit_entry]'s trace *)
+  mutable taken_stub : int;
+      (** index of the taken stub in [exit_entry]'s trace *)
 }
 
 val bundle_count : trace -> int

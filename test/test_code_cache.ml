@@ -12,8 +12,9 @@ let h n = Gb_vliw.Vinsn.guest_regs + n
    [targets]; the stub body is irrelevant to the cache. *)
 let mk_trace ?(bundles = 4) ~pc targets =
   let stub target_pc =
-    { Gb_vliw.Vinsn.commits = [ (Gb_riscv.Reg.a0, Gb_vliw.Vinsn.R (h 0)) ];
-      target_pc; exit_id = max_int; chain = None }
+    Gb_vliw.Vinsn.make_stub
+      ~commits:[ (Gb_riscv.Reg.a0, Gb_vliw.Vinsn.R (h 0)) ]
+      ~target_pc ()
   in
   {
     Gb_vliw.Vinsn.entry_pc = pc;

@@ -178,7 +178,7 @@ let residual_flow_detected () =
      guarding exit (id 1) resolves in the last bundle, so both loads
      (ids 2 and 4) execute above an unresolved exit. *)
   let stub =
-    { Gb_vliw.Vinsn.commits = []; target_pc = 0x2000; exit_id = 1; chain = None }
+    Gb_vliw.Vinsn.make_stub ~exit_id:1 ~commits:[] ~target_pc:0x2000 ()
   in
   let load ~id ~pc ~dst ~base =
     Gb_vliw.Vinsn.Load

@@ -135,6 +135,9 @@ let test_rule_dispatch () =
   check "slowdown.e2.geomean.fine-grained" (B.Lower_better B.default_tol_cycles);
   check "exits_per_1k.e8.gemm.chain" (B.Lower_better B.default_tol_cycles);
   check "audit_fn.e1.spectre-v1.fine-grained" (B.Lower_better 0.);
+  check "alloc.minor_words_per_kinsn.interp" (B.Lower_better B.default_tol_alloc);
+  check "alloc.minor_words_per_kinsn.pipeline.min-cut"
+    (B.Lower_better B.default_tol_alloc);
   check "counter.trace.run" B.Info;
   check "faults.e10.injected" B.Info;
   check "something.else" B.Info;

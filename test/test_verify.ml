@@ -13,7 +13,7 @@ module Scanner = Gb_verify.Scanner
 (* --- hand-built traces -------------------------------------------------- *)
 
 let stub ?(commits = []) ~exit_id ~target () =
-  { V.commits; target_pc = target; exit_id; chain = None }
+  V.make_stub ~exit_id ~commits ~target_pc:target ()
 
 let mk ~stubs bundles =
   {

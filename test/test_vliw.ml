@@ -29,7 +29,7 @@ let straight_line () =
   (* h0 = 5; h1 = h0 + 7; exit committing a0 <- h1 *)
   let t =
     trace
-      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 1)) ]; target_pc = 0x2000; exit_id = max_int; chain = None } ]
+      ~stubs:[ make_stub ~commits:[ (Gb_riscv.Reg.a0, R (h 1)) ] ~target_pc:0x2000 () ]
       [
         [ Alu { op = add; dst = h 0; a = I 5L; b = I 0L } ];
         [ Alu { op = add; dst = h 1; a = R (h 0); b = I 7L } ];
@@ -48,7 +48,7 @@ let parallel_semantics () =
      h1 must read the pre-bundle h0. *)
   let t =
     trace
-      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 1)) ]; target_pc = 0; exit_id = max_int; chain = None } ]
+      ~stubs:[ make_stub ~commits:[ (Gb_riscv.Reg.a0, R (h 1)) ] ~target_pc:0 () ]
       [
         [ Alu { op = add; dst = h 0; a = I 1L; b = I 0L } ];
         [
@@ -68,8 +68,8 @@ let side_exit_commits () =
     trace
       ~stubs:
         [
-          { commits = [ (Gb_riscv.Reg.a0, I 1L) ]; target_pc = 0xAAAA; exit_id = max_int; chain = None };
-          { commits = [ (Gb_riscv.Reg.a0, I 2L) ]; target_pc = 0xBBBB; exit_id = max_int; chain = None };
+          make_stub ~commits:[ (Gb_riscv.Reg.a0, I 1L) ] ~target_pc:0xAAAA ();
+          make_stub ~commits:[ (Gb_riscv.Reg.a0, I 2L) ] ~target_pc:0xBBBB ();
         ]
       [
         [ Alu { op = add; dst = h 0; a = I 3L; b = I 4L } ];
@@ -91,8 +91,8 @@ let mcb_rollback () =
     trace
       ~stubs:
         [
-          { commits = []; target_pc = 0xD00D; exit_id = max_int; chain = None } (* rollback stub *);
-          { commits = [ (Gb_riscv.Reg.a0, R (h 0)) ]; target_pc = 0xFFFF; exit_id = max_int; chain = None };
+          make_stub ~commits:[] ~target_pc:0xD00D () (* rollback stub *);
+          make_stub ~commits:[ (Gb_riscv.Reg.a0, R (h 0)) ] ~target_pc:0xFFFF ();
         ]
       [
         [
@@ -127,8 +127,8 @@ let mcb_partial_overlap () =
     trace
       ~stubs:
         [
-          { commits = []; target_pc = 1; exit_id = max_int; chain = None };
-          { commits = []; target_pc = 2; exit_id = max_int; chain = None };
+          make_stub ~commits:[] ~target_pc:1 ();
+          make_stub ~commits:[] ~target_pc:2 ();
         ]
       [
         [
@@ -149,7 +149,7 @@ let speculative_fault_deferred () =
   (* A speculative load far out of memory returns 0 and does not raise. *)
   let t =
     trace
-      ~stubs:[ { commits = [ (Gb_riscv.Reg.a0, R (h 0)) ]; target_pc = 0; exit_id = max_int; chain = None } ]
+      ~stubs:[ make_stub ~commits:[ (Gb_riscv.Reg.a0, R (h 0)) ] ~target_pc:0 () ]
       [
         [
           Load
@@ -168,7 +168,7 @@ let miss_stalls_pipeline () =
   (* Same trace run twice: first run misses (cold cache), second hits. *)
   let t =
     trace
-      ~stubs:[ { commits = []; target_pc = 0; exit_id = max_int; chain = None } ]
+      ~stubs:[ make_stub ~commits:[] ~target_pc:0 () ]
       [
         [
           Load
@@ -193,7 +193,7 @@ let miss_stalls_pipeline () =
 let cflush_forces_miss () =
   let t_load =
     trace
-      ~stubs:[ { commits = []; target_pc = 0; exit_id = max_int; chain = None } ]
+      ~stubs:[ make_stub ~commits:[] ~target_pc:0 () ]
       [
         [
           Load
@@ -217,7 +217,7 @@ let cflush_forces_miss () =
 let duplicate_write_rejected () =
   let t =
     trace
-      ~stubs:[ { commits = []; target_pc = 0; exit_id = max_int; chain = None } ]
+      ~stubs:[ make_stub ~commits:[] ~target_pc:0 () ]
       [
         [
           Alu { op = add; dst = h 0; a = I 1L; b = I 0L };
@@ -237,7 +237,7 @@ let rdcycle_observes_stalls () =
   let t =
     trace
       ~stubs:
-        [ { commits = [ (Gb_riscv.Reg.a0, R (h 2)) ]; target_pc = 0; exit_id = max_int; chain = None } ]
+        [ make_stub ~commits:[ (Gb_riscv.Reg.a0, R (h 2)) ] ~target_pc:0 () ]
       [
         [ Rdcycle { dst = h 0 } ];
         [
@@ -267,17 +267,14 @@ let subword_memory_ops () =
     trace
       ~stubs:
         [
-          {
-            commits =
+          make_stub
+            ~commits:
               [
                 (Gb_riscv.Reg.a0, R (h 1));
                 (Gb_riscv.Reg.a1, R (h 2));
                 (Gb_riscv.Reg.a2, R (h 3));
-              ];
-            target_pc = 0;
-            exit_id = max_int;
-            chain = None;
-          };
+              ]
+            ~target_pc:0 ();
         ]
       [
         (* store 0xFFFF8001 as a word at 256 *)
@@ -303,7 +300,7 @@ let subword_memory_ops () =
 let mcb_tag_reuse () =
   let mcb = Gb_vliw.Mcb.create ~entries:4 () in
   Gb_vliw.Mcb.alloc mcb ~tag:1 ~addr:100 ~size:8;
-  Gb_vliw.Mcb.store_probe mcb ~addr:104 ~size:1 ();
+  Gb_vliw.Mcb.store_probe mcb ~pc:0 ~addr:104 ~size:1;
   Alcotest.(check bool) "conflict" true (Gb_vliw.Mcb.check mcb ~tag:1);
   (* entry consumed: checking again reports no conflict *)
   Alcotest.(check bool) "consumed" false (Gb_vliw.Mcb.check mcb ~tag:1);
@@ -318,7 +315,7 @@ let mcb_disabled () =
   Alcotest.(check bool) "disabled" false (Gb_vliw.Mcb.enabled mcb);
   Alcotest.(check int) "entries" 0 (Gb_vliw.Mcb.entries mcb);
   Gb_vliw.Mcb.alloc mcb ~tag:0 ~addr:100 ~size:8;
-  Gb_vliw.Mcb.store_probe mcb ~addr:100 ~size:8 ();
+  Gb_vliw.Mcb.store_probe mcb ~pc:0 ~addr:100 ~size:8;
   Alcotest.(check bool) "no conflict" false (Gb_vliw.Mcb.check mcb ~tag:0);
   Gb_vliw.Mcb.clear mcb;
   Alcotest.(check int) "no conflicts recorded" 0
@@ -336,14 +333,14 @@ let mcb_fault_hook () =
     (Gb_vliw.Mcb.check mcb ~tag:2);
   (* suppress: hide a real conflict *)
   Gb_vliw.Mcb.alloc mcb ~tag:2 ~addr:100 ~size:8;
-  Gb_vliw.Mcb.store_probe mcb ~addr:100 ~size:8 ();
+  Gb_vliw.Mcb.store_probe mcb ~pc:0 ~addr:100 ~size:8;
   Gb_vliw.Mcb.set_fault_hook mcb (Some (fun ~tag:_ ~conflict:_ -> false));
   Alcotest.(check bool) "suppressed conflict" false
     (Gb_vliw.Mcb.check mcb ~tag:2);
   (* removing the hook restores normal behaviour *)
   Gb_vliw.Mcb.set_fault_hook mcb None;
   Gb_vliw.Mcb.alloc mcb ~tag:3 ~addr:200 ~size:8;
-  Gb_vliw.Mcb.store_probe mcb ~addr:200 ~size:8 ();
+  Gb_vliw.Mcb.store_probe mcb ~pc:0 ~addr:200 ~size:8;
   Alcotest.(check bool) "hook removed" true (Gb_vliw.Mcb.check mcb ~tag:3)
 
 let () =
